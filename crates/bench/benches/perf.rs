@@ -1,0 +1,103 @@
+//! P1 — simulator and model performance benches (criterion).
+//!
+//! These measure the substrate itself: event throughput of the
+//! packet-level engine, cost of one collective iteration, and the cost of
+//! the analytical model / detector (which a switch control plane would run
+//! per job / per iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowpulse::prelude::*;
+use fp_collectives::prelude::*;
+use fp_netsim::prelude::*;
+
+fn fabric(leaves: u32) -> Topology {
+    Topology::fat_tree(FatTreeSpec {
+        leaves,
+        spines: leaves / 2,
+        ..Default::default()
+    })
+}
+
+fn bench_single_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim/single_flow_4MiB");
+    let bytes = 4u64 * 1024 * 1024;
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("8x4", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(fabric(8), SimConfig::default(), 1);
+            sim.post_message(HostId(0), HostId(5), bytes, None, Priority::MEASURED);
+            sim.run();
+            assert!(sim.all_flows_complete());
+            sim.stats.events
+        })
+    });
+    g.finish();
+}
+
+fn bench_ring_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim/ring_allreduce_iteration");
+    g.sample_size(10);
+    for leaves in [8u32, 16] {
+        let bytes = 2u64 * 1024 * 1024;
+        g.bench_with_input(BenchmarkId::from_parameter(leaves), &leaves, |b, &l| {
+            let hosts: Vec<HostId> = (0..l).map(HostId).collect();
+            b.iter(|| {
+                let mut sim = Simulator::new(fabric(l), SimConfig::default(), 1);
+                let sched = ring_allreduce(&hosts, bytes);
+                sim.set_app(Box::new(CollectiveRunner::new(
+                    sched,
+                    RunnerConfig::default(),
+                )));
+                sim.run();
+                sim.stats.events
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_analytical_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowpulse/analytical_predict");
+    for leaves in [32u32, 64] {
+        let topo = fabric(leaves);
+        let hosts: Vec<HostId> = (0..leaves).map(HostId).collect();
+        let demand = ring_allreduce(&hosts, 64 * 1024 * 1024).demand(topo.n_hosts());
+        g.bench_with_input(BenchmarkId::from_parameter(leaves), &leaves, |b, _| {
+            b.iter(|| {
+                let m = AnalyticalModel::new(&topo, []);
+                m.predict(&demand).loads.total()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_detector(c: &mut Criterion) {
+    // Per-iteration cost of the in-switch comparison across a whole fleet.
+    let topo = fabric(64);
+    let hosts: Vec<HostId> = (0..64).map(HostId).collect();
+    let demand = ring_allreduce(&hosts, 64 * 1024 * 1024).demand(topo.n_hosts());
+    let pred = AnalyticalModel::new(&topo, []).predict(&demand).loads;
+    let mut obs = pred.clone();
+    obs.bytes[5] *= 0.97;
+    let d = Detector::new(0.01);
+    c.bench_function("flowpulse/detector_compare_64x32", |b| {
+        b.iter(|| d.compare(&pred, &obs).len())
+    });
+}
+
+fn bench_topology_build(c: &mut Criterion) {
+    c.bench_function("netsim/topology_build_64x32", |b| {
+        b.iter(|| Topology::fat_tree(FatTreeSpec::from_radix(64)).n_links())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_flow,
+    bench_ring_iteration,
+    bench_analytical_model,
+    bench_detector,
+    bench_topology_build
+);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! E7 — the abstract's headline claim: "FlowPulse identifies a single
+//! faulty link with 1.5% corruption rate by checking temporal symmetry in
+//! a full two-level fat tree topology with 32 leaf switches while
+//! performing Ring-AllReduce on all nodes."
+//!
+//! One end-to-end run at exactly that configuration, plus a probe-mesh
+//! comparison showing the overhead FlowPulse avoids.
+
+use flowpulse::baselines::{run_probe_mesh, ProbeMeshConfig};
+use flowpulse::prelude::*;
+use fp_bench::{header, pct, pick, save_json};
+use fp_netsim::fault::FaultAction;
+use fp_netsim::prelude::*;
+use fp_netsim::units::fmt_bytes;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Headline {
+    drop_rate: f64,
+    detected: bool,
+    false_alarm: bool,
+    localized_correctly: bool,
+    faulty_iteration_dev: f64,
+    clean_iteration_dev_max: f64,
+    probe_bytes_for_parity: u64,
+    flowpulse_bytes_injected: u64,
+}
+
+fn main() {
+    let spec = TrialSpec {
+        leaves: pick(32, 8),
+        spines: pick(16, 4),
+        bytes_per_node: pick(64, 8) * 1024 * 1024,
+        iterations: 3,
+        fault: Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.015 },
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        }),
+        seed: 2025,
+        ..Default::default()
+    };
+    header("E7 — headline: 1.5% silent corruption, 32-leaf fat tree, Ring-AllReduce");
+    let r = run_trial(&spec);
+    let (clean, faulty) = flowpulse::eval::split_devs(&r);
+    let clean_max = clean.iter().cloned().fold(0.0, f64::max);
+    let faulty_max = faulty.iter().cloned().fold(0.0, f64::max);
+    let (fleaf, fv) = r.fault_port.unwrap();
+
+    println!("fault:      spine{fv} → leaf{fleaf}, 1.5% silent drop from iteration 1");
+    println!("detected:   {}", r.detected);
+    println!("false alarm:{}", r.false_alarm);
+    println!(
+        "localized:  {:?} (expected unpaired port ({fleaf}, {fv}))",
+        r.localization.as_ref().unwrap()
+    );
+    println!("clean-iteration max deviation:  {}", pct(clean_max));
+    println!("faulty-iteration max deviation: {}", pct(faulty_max));
+    println!(
+        "drops: {} silent, retransmits: {}",
+        r.stats.silent_drops(),
+        r.stats.retransmits
+    );
+
+    // Probe-mesh comparison: how many probe bytes does an active prober
+    // inject to catch the same fault with ~99% confidence? Each probe
+    // crosses the faulty link with probability 1/spines and is then dropped
+    // with probability 1.5%.
+    let mut sim = Simulator::new(
+        Topology::fat_tree(FatTreeSpec {
+            leaves: spec.leaves,
+            spines: spec.spines,
+            ..Default::default()
+        }),
+        SimConfig::default(),
+        1,
+    );
+    let bad = sim.topo.downlink(fv, fleaf);
+    sim.apply_fault_now(
+        bad,
+        FaultAction::Set(FaultKind::SilentDrop { rate: 0.015 }),
+        false,
+    );
+    // p(hit) per probe to the faulty leaf ≈ 0.015/spines; probes to other
+    // leaves never help. Run rounds until detected.
+    let mut probe_bytes = 0u64;
+    let mut detected_by_probe = false;
+    for _ in 0..pick(40, 10) {
+        let rep = run_probe_mesh(&mut sim, &ProbeMeshConfig::default());
+        probe_bytes += rep.bytes_injected;
+        if rep.detected {
+            detected_by_probe = true;
+            break;
+        }
+    }
+    println!(
+        "\nprobe-mesh baseline: {} injected before {} — FlowPulse injects 0 \
+         (passive).",
+        fmt_bytes(probe_bytes),
+        if detected_by_probe {
+            "first detection"
+        } else {
+            "giving up (undetected!)"
+        }
+    );
+
+    save_json(
+        "headline",
+        &Headline {
+            drop_rate: 0.015,
+            detected: r.detected,
+            false_alarm: r.false_alarm,
+            localized_correctly: r.localized_correctly.unwrap_or(false),
+            faulty_iteration_dev: faulty_max,
+            clean_iteration_dev_max: clean_max,
+            probe_bytes_for_parity: probe_bytes,
+            flowpulse_bytes_injected: 0,
+        },
+    );
+
+    if fp_bench::quick() {
+        // Quick mode shrinks the fabric below the regime the headline
+        // claim is about (1.5% signal vs 4-spine retransmit inflation);
+        // report without asserting.
+        println!("\nE7 (quick mode): detected={} localized={:?}", r.detected, r.localized_correctly);
+        return;
+    }
+    assert!(r.detected && !r.false_alarm, "headline claim regressed");
+    assert_eq!(r.localized_correctly, Some(true));
+    println!("\nE7 verdict: headline claim reproduced.");
+}

@@ -1,0 +1,75 @@
+//! Scenario runner: execute a [`TrialSpec`] described in JSON and print a
+//! machine-readable result summary — the "give me a config file and run
+//! it" entry point for scripting experiments outside the predefined
+//! sweeps.
+//!
+//! ```sh
+//! # Print a template spec:
+//! cargo run --release -p fp-bench --bin trial -- --template > spec.json
+//! # Edit it, then run:
+//! cargo run --release -p fp-bench --bin trial -- spec.json
+//! ```
+
+use flowpulse::prelude::*;
+use serde::Serialize;
+use std::io::Read;
+
+#[derive(Serialize)]
+struct Summary {
+    detected: bool,
+    false_alarm: bool,
+    detection_latency_iters: Option<u32>,
+    localized_correctly: Option<bool>,
+    fault_port: Option<(u32, u32)>,
+    preexisting_ports: Vec<(u32, u32)>,
+    iter_max_dev: Vec<(u32, f64)>,
+    alarms: Vec<flowpulse::monitor::Alarm>,
+    silent_drops: u64,
+    retransmits: u64,
+    data_pkts_sent: u64,
+    events: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--template") {
+        let mut spec = TrialSpec::default();
+        spec.fault = Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.015 },
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        });
+        println!("{}", serde_json::to_string_pretty(&spec).unwrap());
+        return;
+    }
+    let raw = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        None => {
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .expect("read spec JSON from stdin");
+            s
+        }
+    };
+    let spec: TrialSpec = serde_json::from_str(&raw).expect("parse TrialSpec JSON");
+    spec.sim.validate().expect("invalid sim config");
+    let r = run_trial(&spec);
+    let summary = Summary {
+        detected: r.detected,
+        false_alarm: r.false_alarm,
+        detection_latency_iters: r.detection_latency_iters(),
+        localized_correctly: r.localized_correctly,
+        fault_port: r.fault_port,
+        preexisting_ports: r.preexisting_ports.clone(),
+        iter_max_dev: r.iter_max_dev.clone(),
+        alarms: r.alarms.clone(),
+        silent_drops: r.stats.silent_drops(),
+        retransmits: r.stats.retransmits,
+        data_pkts_sent: r.stats.data_pkts_sent,
+        events: r.stats.events,
+    };
+    println!("{}", serde_json::to_string_pretty(&summary).unwrap());
+}

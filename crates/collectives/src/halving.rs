@@ -1,0 +1,114 @@
+//! Recursive halving-doubling AllReduce (two-tree-family alternative to the
+//! ring; used as an ablation workload — it has log₂N stages and a very
+//! different leaf-to-leaf traffic pattern, with *multiple* non-local peers
+//! per leaf across the iteration).
+
+use crate::schedule::{Schedule, Transfer};
+use fp_netsim::ids::HostId;
+
+/// Halving-doubling AllReduce over a power-of-two node count.
+///
+/// Stage `k` of the halving (reduce-scatter) phase pairs node `i` with
+/// `i ^ 2^k` and exchanges `bytes / 2^(k+1)`; the doubling (all-gather)
+/// phase mirrors it in reverse. Panics unless `nodes.len()` is a power of
+/// two ≥ 2 and `bytes_per_node` is divisible by `nodes.len()`.
+pub fn halving_doubling_allreduce(nodes: &[HostId], bytes_per_node: u64) -> Schedule {
+    let n = nodes.len();
+    assert!(n >= 2 && n.is_power_of_two(), "need power-of-two nodes");
+    assert!(
+        bytes_per_node % n as u64 == 0,
+        "bytes_per_node must divide evenly for halving-doubling"
+    );
+    let stages = n.trailing_zeros();
+    let mut transfers = Vec::with_capacity(2 * stages as usize * n);
+    let mut deps = Vec::with_capacity(transfers.capacity());
+    let mut step = 0u32;
+    // Halving: k = 0 .. stages; doubling: k = stages-1 .. 0.
+    let ks: Vec<u32> = (0..stages).chain((0..stages).rev()).collect();
+    for &k in &ks {
+        let bytes = bytes_per_node >> (k + 1);
+        for (i, &src) in nodes.iter().enumerate() {
+            let dst = nodes[i ^ (1usize << k)];
+            transfers.push(Transfer {
+                src,
+                dst,
+                bytes,
+                step,
+            });
+            deps.push(if step == 0 {
+                None
+            } else {
+                // Node i's send at step s waits on the message it received
+                // at step s−1, which came from its step-(s−1) partner.
+                let prev_k = ks[(step - 1) as usize];
+                let prev_partner = i ^ (1usize << prev_k);
+                Some((step - 1) * n as u32 + prev_partner as u32)
+            });
+        }
+        step += 1;
+    }
+    Schedule {
+        name: "halving-doubling-allreduce".to_string(),
+        nodes: nodes.to_vec(),
+        transfers,
+        deps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts(n: u32) -> Vec<HostId> {
+        (0..n).map(HostId).collect()
+    }
+
+    #[test]
+    fn shape_for_eight_nodes() {
+        let s = halving_doubling_allreduce(&hosts(8), 8_192);
+        s.validate().unwrap();
+        // 2*log2(8) = 6 stages, 8 transfers each.
+        assert_eq!(s.n_steps(), 6);
+        assert_eq!(s.transfers.len(), 48);
+        // Per-node volume: 2*(4096/2 + ... ) = 2*(4096+2048+1024)/... :
+        // stage sizes 4096,2048,1024 then 1024,2048,4096 => 14336 per node.
+        let v: u64 = s
+            .transfers
+            .iter()
+            .filter(|t| t.src == HostId(0))
+            .map(|t| t.bytes)
+            .sum();
+        assert_eq!(v, 2 * (4096 + 2048 + 1024));
+    }
+
+    #[test]
+    fn volume_matches_ring_asymptotics() {
+        // Both move 2S(N−1)/N per node.
+        let s = halving_doubling_allreduce(&hosts(4), 4_000);
+        let per_node: u64 = s
+            .transfers
+            .iter()
+            .filter(|t| t.src == HostId(0))
+            .map(|t| t.bytes)
+            .sum();
+        assert_eq!(per_node, 2 * 4_000 * 3 / 4);
+    }
+
+    #[test]
+    fn partners_are_symmetric() {
+        let s = halving_doubling_allreduce(&hosts(4), 4_000);
+        // In every stage, if i sends to j then j sends to i.
+        for st in 0..s.n_steps() {
+            let stage: Vec<_> = s.transfers.iter().filter(|t| t.step == st).collect();
+            for t in &stage {
+                assert!(stage.iter().any(|u| u.src == t.dst && u.dst == t.src));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_panics() {
+        halving_doubling_allreduce(&hosts(6), 6_000);
+    }
+}

@@ -1,0 +1,93 @@
+//! Straggler / jitter models (paper §4, §5.1).
+//!
+//! "Prior to each collective, some nodes may experience longer computation
+//! times, resulting in straggler nodes that begin the collective after other
+//! nodes. Different nodes may become stragglers during different
+//! iterations." The runner samples a fresh per-node delay at each iteration
+//! start from one of these models.
+
+use fp_netsim::time::SimDuration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-node iteration-start delay distribution.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug, Default)]
+pub enum JitterModel {
+    /// All nodes start simultaneously.
+    #[default]
+    None,
+    /// Delay uniform in `[0, max]`.
+    Uniform {
+        /// Upper bound.
+        max: SimDuration,
+    },
+    /// A single straggler: one uniformly-chosen node per iteration is
+    /// delayed by exactly `delay`; everyone else starts on time.
+    Straggler {
+        /// The straggler's extra delay.
+        delay: SimDuration,
+    },
+}
+
+impl JitterModel {
+    /// Sample per-node delays for one iteration over `n` nodes.
+    pub fn sample(&self, n: usize, rng: &mut SmallRng) -> Vec<SimDuration> {
+        match *self {
+            JitterModel::None => vec![SimDuration::ZERO; n],
+            JitterModel::Uniform { max } => (0..n)
+                .map(|_| SimDuration::from_ns(rng.gen_range(0..=max.as_ns())))
+                .collect(),
+            JitterModel::Straggler { delay } => {
+                let mut v = vec![SimDuration::ZERO; n];
+                if n > 0 {
+                    v[rng.gen_range(0..n)] = delay;
+                }
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let v = JitterModel::None.sample(5, &mut rng);
+        assert!(v.iter().all(|d| *d == SimDuration::ZERO));
+    }
+
+    #[test]
+    fn uniform_is_bounded() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let max = SimDuration::from_us(3);
+        for _ in 0..100 {
+            for d in (JitterModel::Uniform { max }).sample(8, &mut rng) {
+                assert!(d <= max);
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_hits_exactly_one() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let delay = SimDuration::from_us(10);
+        let mut who = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = JitterModel::Straggler { delay }.sample(4, &mut rng);
+            let idx: Vec<usize> = v
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| (*d == delay).then_some(i))
+                .collect();
+            assert_eq!(idx.len(), 1);
+            who.insert(idx[0]);
+        }
+        // Different nodes straggle across iterations.
+        assert!(who.len() >= 3, "straggler should rotate, saw {who:?}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for collective schedules.
+
+use fp_collectives::prelude::*;
+use fp_netsim::ids::HostId;
+use proptest::prelude::*;
+
+fn hosts(n: u32) -> Vec<HostId> {
+    (0..n).map(HostId).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ring-AllReduce structural invariants for arbitrary sizes.
+    #[test]
+    fn ring_allreduce_invariants(n in 2u32..40, bytes in 64u64..10_000_000) {
+        prop_assume!(bytes >= n as u64);
+        let s = ring_allreduce(&hosts(n), bytes);
+        prop_assert!(s.validate().is_ok());
+        prop_assert_eq!(s.n_steps(), 2 * (n - 1));
+        prop_assert_eq!(s.transfers.len() as u32, 2 * (n - 1) * n);
+        // Every stage moves exactly the full buffer once (all N chunks).
+        for st in 0..s.n_steps() {
+            let stage_bytes: u64 = s.transfers.iter()
+                .filter(|t| t.step == st)
+                .map(|t| t.bytes)
+                .sum();
+            prop_assert_eq!(stage_bytes, bytes);
+        }
+        // Per-node send volume = 2(N−1)/N · S, exactly (chunk partition).
+        let v0: u64 = s.transfers.iter()
+            .filter(|t| t.src == HostId(0))
+            .map(|t| t.bytes)
+            .sum();
+        let total: u64 = s.total_bytes();
+        prop_assert_eq!(total, bytes * 2 * (n as u64 - 1));
+        // Node volumes differ by at most the chunk-size imbalance (1 byte
+        // per stage).
+        prop_assert!(v0 * n as u64 >= total - (2 * (n as u64 - 1)) * n as u64);
+    }
+
+    /// Demand matrix of a ring only links successors.
+    #[test]
+    fn ring_demand_is_a_cycle(n in 2u32..32) {
+        let s = ring_allreduce(&hosts(n), 4096 * n as u64);
+        let d = s.demand(n as usize);
+        for i in 0..n {
+            for j in 0..n {
+                let v = d.get(HostId(i), HostId(j));
+                if j == (i + 1) % n {
+                    prop_assert!(v > 0);
+                } else {
+                    prop_assert_eq!(v, 0);
+                }
+            }
+        }
+    }
+
+    /// ReduceScatter is exactly the first half of AllReduce.
+    #[test]
+    fn reduce_scatter_is_half(n in 2u32..24, bytes in 1024u64..1_000_000) {
+        prop_assume!(bytes >= n as u64);
+        let rs = ring_reduce_scatter(&hosts(n), bytes);
+        let ar = ring_allreduce(&hosts(n), bytes);
+        prop_assert!(rs.validate().is_ok());
+        prop_assert_eq!(rs.transfers.len() * 2, ar.transfers.len());
+        prop_assert_eq!(&ar.transfers[..rs.transfers.len()], &rs.transfers[..]);
+    }
+
+    /// Halving-doubling conserves per-node volume like the ring.
+    #[test]
+    fn halving_doubling_volume(pow in 1u32..6, mult in 1u64..50) {
+        let n = 1u32 << pow;
+        let bytes = n as u64 * 1024 * mult;
+        let s = halving_doubling_allreduce(&hosts(n), bytes);
+        prop_assert!(s.validate().is_ok());
+        let v0: u64 = s.transfers.iter()
+            .filter(|t| t.src == HostId(0))
+            .map(|t| t.bytes)
+            .sum();
+        prop_assert_eq!(v0, 2 * bytes * (n as u64 - 1) / n as u64);
+        prop_assert_eq!(s.n_steps(), 2 * pow);
+    }
+
+    /// AlltoAll covers all ordered pairs, once.
+    #[test]
+    fn alltoall_pairs(n in 2u32..20, per in 1u64..100_000) {
+        let s = alltoall_uniform(&hosts(n), per);
+        prop_assert!(s.validate().is_ok());
+        prop_assert_eq!(s.transfers.len() as u32, n * (n - 1));
+        prop_assert_eq!(s.total_bytes(), per * (n as u64) * (n as u64 - 1));
+        let d = s.demand(n as usize);
+        prop_assert_eq!(d.total(), s.total_bytes());
+    }
+
+    /// Dependency chains in a ring have exactly pipeline depth 2(N−1) and
+    /// every non-root transfer's sender is its dependency's receiver.
+    #[test]
+    fn ring_dependency_structure(n in 2u32..24) {
+        let s = ring_allreduce(&hosts(n), 8192 * n as u64);
+        prop_assert_eq!(s.depth(), 2 * (n - 1));
+        prop_assert_eq!(s.roots().len() as u32, n);
+        for (i, d) in s.deps.iter().enumerate() {
+            if let Some(p) = d {
+                prop_assert_eq!(s.transfers[*p as usize].dst, s.transfers[i].src);
+            }
+        }
+    }
+
+    /// Jitter samples respect their model across arbitrary shapes.
+    #[test]
+    fn jitter_bounds(n in 1usize..64, max_us in 1u64..100, seed in 0u64..1000) {
+        use fp_netsim::time::SimDuration;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let m = JitterModel::Uniform { max: SimDuration::from_us(max_us) };
+        let v = m.sample(n, &mut rng);
+        prop_assert_eq!(v.len(), n);
+        for d in v {
+            prop_assert!(d <= SimDuration::from_us(max_us));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Running a random ring on a real fabric always completes and the
+    /// tagged per-iteration volume equals the schedule's non-local bytes.
+    #[test]
+    fn runner_conserves_schedule_volume(n_pow in 1u32..4, kib in 64u64..512, seed in 0u64..100) {
+        use fp_netsim::prelude::*;
+        let n = 2u32 << n_pow; // 4..16
+        let topo = Topology::fat_tree(FatTreeSpec {
+            leaves: n,
+            spines: (n / 2).max(1),
+            ..Default::default()
+        });
+        let bytes = kib * 1024;
+        prop_assume!(bytes >= n as u64);
+        let sched = ring_allreduce(&hosts(n), bytes);
+        let expected = sched.total_bytes(); // ring: all transfers non-local
+        let mut sim = Simulator::new(topo, SimConfig::default(), seed);
+        sim.set_app(Box::new(CollectiveRunner::new(sched, RunnerConfig::default())));
+        sim.run();
+        prop_assert!(sim.all_flows_complete());
+        let c = sim.counters.get(1, 0).unwrap();
+        prop_assert_eq!(c.total_bytes(), expected);
+    }
+}

@@ -1,0 +1,755 @@
+//! The evaluation harness: one-stop trial runner for every experiment.
+//!
+//! A [`TrialSpec`] describes a complete scenario — fabric shape, collective,
+//! pre-existing (known) faults, an optionally injected silent fault, the
+//! prediction model and detection threshold. [`run_trial`] executes it
+//! end-to-end and returns per-iteration deviations, alarms, localization
+//! verdicts and transport statistics. The `fp-bench` binaries are thin
+//! sweeps over `TrialSpec`s; FPR/FNR/ROC aggregation lives here so tests
+//! can exercise it too.
+
+use crate::analytical::AnalyticalModel;
+use crate::detector::Detector;
+use crate::learned::LearnedUpdate;
+use crate::localizer::{Localizer, RingLocalization};
+use crate::model::{PortLoads, PortSrcLoads};
+use crate::monitor::{Alarm, Monitor};
+use crate::simulated::SimulationModel;
+use fp_collectives::alltoall::alltoall_uniform;
+use fp_collectives::halving::halving_doubling_allreduce;
+use fp_collectives::jitter::JitterModel;
+use fp_collectives::ring::{ring_allreduce, ring_reduce_scatter};
+use fp_collectives::runner::{CollectiveRunner, RunnerConfig};
+use fp_collectives::schedule::Schedule;
+use fp_netsim::config::SimConfig;
+use fp_netsim::fault::{FaultAction, FaultKind};
+use fp_netsim::ids::{HostId, LinkId};
+use fp_netsim::rng::splitmix64;
+use fp_netsim::sim::Simulator;
+use fp_netsim::stats::Stats;
+use fp_netsim::time::SimDuration;
+use fp_netsim::topology::{FatTreeSpec, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which collective the measured job runs.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub enum CollectiveKind {
+    /// Full 2(N−1)-stage Ring-AllReduce (the paper's workload).
+    RingAllReduce,
+    /// N−1-stage ring ReduceScatter (the "31-stage" variant).
+    RingReduceScatter,
+    /// Uniform AlltoAll (multi-sender ports; used by localization).
+    AllToAll,
+    /// Recursive halving-doubling AllReduce (ablation).
+    HalvingDoubling,
+}
+
+/// Which prediction model the monitor uses (§5.2).
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub enum ModelKind {
+    /// Closed-form `d/(s−f)` model.
+    Analytical,
+    /// Clean-run simulation prediction.
+    Simulation,
+    /// Baseline learned from the first `warmup` iterations.
+    Learned {
+        /// Iterations averaged into the baseline.
+        warmup: u32,
+    },
+}
+
+/// The silent fault injected mid-run.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct FaultSpec {
+    /// Fault kind.
+    pub kind: InjectedFault,
+    /// Iteration at whose start the fault is installed.
+    pub at_iter: u32,
+    /// Iteration at whose start the fault heals again (`None` = permanent).
+    /// Transient faults drive the Fig. 3 learning-rebaseline experiment.
+    pub heal_at_iter: Option<u32>,
+    /// Apply to both directions of the cable (default: spine→leaf only,
+    /// matching §6 "configure a single leaf-spine link to drop packets").
+    pub bidirectional: bool,
+}
+
+/// Injectable silent fault kinds.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub enum InjectedFault {
+    /// Random per-packet drop at `rate`.
+    Drop {
+        /// Drop probability.
+        rate: f64,
+    },
+    /// Drop everything.
+    Blackhole,
+}
+
+/// A complete experiment scenario.
+#[derive(Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct TrialSpec {
+    /// Leaf switch count.
+    pub leaves: u32,
+    /// Spine switch count.
+    pub spines: u32,
+    /// Hosts per leaf.
+    pub hosts_per_leaf: u32,
+    /// Parallel leaf–spine links.
+    pub parallel_links: u32,
+    /// Collective kind.
+    pub collective: CollectiveKind,
+    /// Collective buffer size per node (for AllToAll: bytes per pair =
+    /// `bytes_per_node / (n_hosts − 1)`).
+    pub bytes_per_node: u64,
+    /// Training iterations.
+    pub iterations: u32,
+    /// Per-node iteration-start jitter.
+    pub jitter: JitterModel,
+    /// Number of pre-existing known (admin-down) leaf–spine cables.
+    pub preexisting: u32,
+    /// Silent fault to inject, if any.
+    pub fault: Option<FaultSpec>,
+    /// Prediction model.
+    pub model: ModelKind,
+    /// Detection threshold (paper: 0.01).
+    pub threshold: f64,
+    /// Fabric/transport parameters (includes the spray policy).
+    pub sim: SimConfig,
+    /// Master seed (fault placement, spray randomness, jitter).
+    pub seed: u64,
+}
+
+impl Default for TrialSpec {
+    /// The paper's §6 setup: 32 leaves × 16 spines, one host per leaf,
+    /// Ring-AllReduce on all nodes, analytical model, 1% threshold.
+    fn default() -> Self {
+        TrialSpec {
+            leaves: 32,
+            spines: 16,
+            hosts_per_leaf: 1,
+            parallel_links: 1,
+            collective: CollectiveKind::RingAllReduce,
+            bytes_per_node: 64 * 1024 * 1024,
+            iterations: 3,
+            jitter: JitterModel::Uniform {
+                max: SimDuration::from_us(1),
+            },
+            preexisting: 0,
+            fault: None,
+            model: ModelKind::Analytical,
+            threshold: 0.01,
+            sim: SimConfig::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// Everything a trial produced.
+#[derive(Clone, Debug)]
+pub struct TrialResult {
+    /// Max |relative deviation| per evaluated iteration.
+    pub iter_max_dev: Vec<(u32, f64)>,
+    /// Alarms raised by the monitor.
+    pub alarms: Vec<Alarm>,
+    /// Injected-fault port `(dst_leaf, vspine)`, if a fault was injected.
+    pub fault_port: Option<(u32, u32)>,
+    /// Iteration the fault was installed at.
+    pub fault_iter: Option<u32>,
+    /// Iteration the fault healed at, if transient.
+    pub heal_iter: Option<u32>,
+    /// An alarm fired in a fault-active iteration.
+    pub detected: bool,
+    /// An alarm fired in a fault-free iteration.
+    pub false_alarm: bool,
+    /// Ring-correlation localization over post-fault alarms (rings with one
+    /// host per leaf only).
+    pub localization: Option<RingLocalization>,
+    /// The localization names exactly the injected cable/port.
+    pub localized_correctly: Option<bool>,
+    /// Pre-existing admin-down cables `(leaf, vspine)`.
+    pub preexisting_ports: Vec<(u32, u32)>,
+    /// Learned-model verdicts (empty unless `ModelKind::Learned`).
+    pub learned_events: Vec<(u32, LearnedUpdate)>,
+    /// Transport/fabric statistics.
+    pub stats: Stats,
+    /// Observed per-port loads per iteration (for figure harnesses).
+    pub observed: Vec<PortLoads>,
+    /// The model prediction (`None` for learned until formed).
+    pub predicted: Option<PortLoads>,
+    /// Per-sender predicted loads (analytical/simulation models).
+    pub predicted_by_src: Option<PortSrcLoads>,
+    /// Per-sender observed loads per iteration.
+    pub observed_by_src: Vec<PortSrcLoads>,
+}
+
+/// Build the collective schedule for a spec.
+pub fn build_schedule(spec: &TrialSpec) -> Schedule {
+    let n = (spec.leaves * spec.hosts_per_leaf) as usize;
+    let hosts: Vec<HostId> = (0..n as u32).map(HostId).collect();
+    match spec.collective {
+        CollectiveKind::RingAllReduce => ring_allreduce(&hosts, spec.bytes_per_node),
+        CollectiveKind::RingReduceScatter => ring_reduce_scatter(&hosts, spec.bytes_per_node),
+        CollectiveKind::AllToAll => {
+            let per_pair = (spec.bytes_per_node / (n as u64 - 1)).max(1);
+            alltoall_uniform(&hosts, per_pair)
+        }
+        CollectiveKind::HalvingDoubling => {
+            let n64 = n as u64;
+            let bytes = spec.bytes_per_node / n64 * n64; // divisible
+            halving_doubling_allreduce(&hosts, bytes.max(n64))
+        }
+    }
+}
+
+/// Deterministically choose `count` distinct pre-existing fault cables plus
+/// (optionally) the injected-fault cable, all distinct, never taking a
+/// leaf's last uplink.
+fn choose_cables(
+    spec: &TrialSpec,
+    rng: &mut SmallRng,
+    count: u32,
+    want_fault: bool,
+) -> (Vec<(u32, u32)>, Option<(u32, u32)>) {
+    let nv = spec.spines * spec.parallel_links;
+    let mut used: std::collections::HashSet<(u32, u32)> = Default::default();
+    let mut per_leaf = vec![0u32; spec.leaves as usize];
+    let mut pre = Vec::new();
+    let pick = |rng: &mut SmallRng,
+                    used: &mut std::collections::HashSet<(u32, u32)>,
+                    per_leaf: &mut [u32]| {
+        // Bounded rejection sampling: placements that would take a leaf's
+        // last uplink are rejected; an infeasible request (more cables than
+        // the fabric can lose) fails loudly instead of spinning.
+        for _ in 0..100_000 {
+            let leaf = rng.gen_range(0..spec.leaves);
+            let v = rng.gen_range(0..nv);
+            if used.contains(&(leaf, v)) || per_leaf[leaf as usize] + 1 >= nv {
+                continue;
+            }
+            used.insert((leaf, v));
+            per_leaf[leaf as usize] += 1;
+            return (leaf, v);
+        }
+        panic!(
+            "cannot place another faulty cable: {} leaves x {} vspines with {} already down",
+            spec.leaves,
+            nv,
+            used.len()
+        );
+    };
+    for _ in 0..count {
+        let c = pick(rng, &mut used, &mut per_leaf);
+        pre.push(c);
+    }
+    let fault = want_fault.then(|| pick(rng, &mut used, &mut per_leaf));
+    (pre, fault)
+}
+
+/// Execute one trial end-to-end.
+pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    let job = 1u32;
+    let topo = Topology::fat_tree(FatTreeSpec {
+        leaves: spec.leaves,
+        spines: spec.spines,
+        hosts_per_leaf: spec.hosts_per_leaf,
+        parallel_links: spec.parallel_links,
+        ..Default::default()
+    });
+    let mut place_rng = SmallRng::seed_from_u64(splitmix64(spec.seed ^ 0xFA_17));
+    let (preexisting_ports, fault_port) =
+        choose_cables(spec, &mut place_rng, spec.preexisting, spec.fault.is_some());
+
+    // Known faults: cables are down in both directions, visible to routing.
+    let mut admin_down: Vec<LinkId> = Vec::new();
+    for &(leaf, v) in &preexisting_ports {
+        admin_down.push(topo.uplink(leaf, v));
+        admin_down.push(topo.downlink(v, leaf));
+    }
+
+    let sched = build_schedule(spec);
+    // Multi-destination collectives get the paper's §5.1 subset treatment:
+    // one measured (tagged, prioritized) non-local flow per leaf; the rest
+    // of the collective runs unmeasured. Demand models the subset only.
+    let measured = match spec.collective {
+        CollectiveKind::AllToAll => {
+            let subset =
+                fp_collectives::alltoall::single_nonlocal_subset(&sched, &topo.host_leaf);
+            Some(subset)
+        }
+        _ => None,
+    };
+    let demand = match &measured {
+        Some(subset) => {
+            fp_collectives::alltoall::demand_of_subset(&sched, subset, topo.n_hosts())
+        }
+        None => sched.demand(topo.n_hosts()),
+    };
+
+    // Prediction.
+    let (predicted, predicted_by_src) = match spec.model {
+        ModelKind::Analytical => {
+            let p = AnalyticalModel::new(&topo, admin_down.iter().copied()).predict(&demand);
+            (Some(p.loads), Some(p.by_src))
+        }
+        ModelKind::Simulation => {
+            let subset = match &measured {
+                Some(s) => fp_collectives::runner::MeasuredSubset::Transfers(s.clone()),
+                None => fp_collectives::runner::MeasuredSubset::All,
+            };
+            let (l, s) = SimulationModel::new(spec.sim.clone()).predict_measured(
+                &topo,
+                &admin_down,
+                &sched,
+                job,
+                subset,
+            );
+            (Some(l), Some(s))
+        }
+        ModelKind::Learned { .. } => (None, None),
+    };
+
+    // Production fabric.
+    let mut sim = Simulator::new(topo.clone(), spec.sim.clone(), spec.seed);
+    for &l in &admin_down {
+        sim.apply_fault_now(l, FaultAction::Set(FaultKind::AdminDown), false);
+    }
+
+    let rcfg = RunnerConfig {
+        job,
+        iterations: spec.iterations,
+        jitter: spec.jitter,
+        jitter_seed: splitmix64(spec.seed ^ 0x717),
+        measured: match &measured {
+            Some(subset) => fp_collectives::runner::MeasuredSubset::Transfers(subset.clone()),
+            None => fp_collectives::runner::MeasuredSubset::All,
+        },
+        ..Default::default()
+    };
+    let mut runner = CollectiveRunner::new(sched, rcfg);
+    if let (Some(f), Some((fleaf, fv))) = (spec.fault, fault_port) {
+        let kind = match f.kind {
+            InjectedFault::Drop { rate } => FaultKind::SilentDrop { rate },
+            InjectedFault::Blackhole => FaultKind::SilentBlackhole,
+        };
+        let down = topo.downlink(fv, fleaf);
+        let mut installed = false;
+        let mut healed = false;
+        runner.set_iteration_start_hook(Box::new(move |sim, iter| {
+            if !installed && iter >= f.at_iter {
+                installed = true;
+                sim.apply_fault_now(down, FaultAction::Set(kind), f.bidirectional);
+            }
+            if let Some(h) = f.heal_at_iter {
+                if installed && !healed && iter >= h {
+                    healed = true;
+                    sim.apply_fault_now(down, FaultAction::Clear, f.bidirectional);
+                }
+            }
+        }));
+    }
+    sim.set_app(Box::new(runner));
+    sim.run();
+
+    // Monitoring.
+    let detector = Detector::new(spec.threshold);
+    let mut monitor = match (&spec.model, &predicted) {
+        (ModelKind::Learned { warmup }, _) => Monitor::new_learned(job, detector, *warmup),
+        (_, Some(p)) => Monitor::new_fixed(job, detector, p.clone()),
+        _ => unreachable!("non-learned model without prediction"),
+    };
+    monitor.scan(&sim.counters, true);
+
+    // Collect observations for figure harnesses.
+    let mut observed = Vec::new();
+    let mut observed_by_src = Vec::new();
+    for i in sim.counters.iters_of(job) {
+        let c = sim.counters.get(job, i).expect("listed iteration");
+        observed.push(PortLoads::from_counters(c));
+        observed_by_src.push(PortSrcLoads::from_counters(c));
+    }
+
+    // Outcomes.
+    let fault_iter = spec.fault.map(|f| f.at_iter);
+    let heal_iter = spec.fault.and_then(|f| f.heal_at_iter);
+    let faulty = |iter: u32| -> bool {
+        match (fault_iter, heal_iter) {
+            (Some(fi), Some(h)) => iter >= fi && iter < h,
+            (Some(fi), None) => iter >= fi,
+            _ => false,
+        }
+    };
+    let detected = monitor.alarms.iter().any(|a| faulty(a.iter));
+    let false_alarm = monitor.alarms.iter().any(|a| !faulty(a.iter));
+
+    // Ring localization (single host per leaf rings only).
+    let is_ring = matches!(
+        spec.collective,
+        CollectiveKind::RingAllReduce | CollectiveKind::RingReduceScatter
+    );
+    let (localization, localized_correctly) = if let (Some(fi), Some((fleaf, fv)), true, 1) =
+        (fault_iter, fault_port, is_ring, spec.hosts_per_leaf)
+    {
+        let alarmed = monitor.shortfall_ports(fi);
+        let leaves = spec.leaves;
+        let loc = Localizer::default().localize_ring(&alarmed, |l| (l + 1) % leaves);
+        let bidir = spec.fault.map(|f| f.bidirectional).unwrap_or(false);
+        let correct = if bidir {
+            loc.cables == vec![(fleaf, fv)]
+        } else {
+            loc.cables.is_empty() && loc.unpaired == vec![(fleaf, fv)]
+        };
+        (Some(loc), Some(correct))
+    } else {
+        (None, None)
+    };
+
+    TrialResult {
+        iter_max_dev: monitor.iter_max_dev.clone(),
+        alarms: monitor.alarms.clone(),
+        fault_port,
+        fault_iter,
+        heal_iter,
+        detected,
+        false_alarm,
+        localization,
+        localized_correctly,
+        preexisting_ports,
+        learned_events: monitor.learned_events.clone(),
+        stats: sim.stats.clone(),
+        observed,
+        predicted,
+        predicted_by_src,
+        observed_by_src,
+    }
+}
+
+/// Binary classification tallies over iterations.
+#[derive(Copy, Clone, Default, PartialEq, Serialize, Deserialize, Debug)]
+pub struct Rates {
+    /// Faulty iterations alarmed.
+    pub tp: u32,
+    /// Faulty iterations missed.
+    pub fn_: u32,
+    /// Clean iterations alarmed.
+    pub fp: u32,
+    /// Clean iterations passed.
+    pub tn: u32,
+}
+
+impl Rates {
+    /// False-positive rate (`fp / (fp + tn)`), 0 if no clean iterations.
+    pub fn fpr(&self) -> f64 {
+        let d = self.fp + self.tn;
+        if d == 0 {
+            0.0
+        } else {
+            self.fp as f64 / d as f64
+        }
+    }
+
+    /// False-negative rate (`fn / (fn + tp)`), 0 if no faulty iterations.
+    pub fn fnr(&self) -> f64 {
+        let d = self.fn_ + self.tp;
+        if d == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / d as f64
+        }
+    }
+
+    /// True-positive rate.
+    pub fn tpr(&self) -> f64 {
+        1.0 - self.fnr()
+    }
+
+    /// Tally one trial's iterations at the trial's own threshold.
+    pub fn add_trial(&mut self, r: &TrialResult) {
+        let alarmed: std::collections::HashSet<u32> =
+            r.alarms.iter().map(|a| a.iter).collect();
+        for &(iter, _) in &r.iter_max_dev {
+            let faulty = r.is_faulty_iter(iter);
+            match (faulty, alarmed.contains(&iter)) {
+                (true, true) => self.tp += 1,
+                (true, false) => self.fn_ += 1,
+                (false, true) => self.fp += 1,
+                (false, false) => self.tn += 1,
+            }
+        }
+    }
+
+    /// Tally many trials.
+    pub fn from_trials<'a>(trials: impl IntoIterator<Item = &'a TrialResult>) -> Rates {
+        let mut r = Rates::default();
+        for t in trials {
+            r.add_trial(t);
+        }
+        r
+    }
+}
+
+/// One point of a ROC curve.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct RocPoint {
+    /// Detection threshold.
+    pub threshold: f64,
+    /// False-positive rate at that threshold.
+    pub fpr: f64,
+    /// True-positive rate at that threshold.
+    pub tpr: f64,
+}
+
+/// Evaluate thresholds offline against recorded max-deviations: `clean` are
+/// deviations of fault-free iterations, `faulty` of fault-active ones.
+pub fn roc_curve(clean: &[f64], faulty: &[f64], thresholds: &[f64]) -> Vec<RocPoint> {
+    thresholds
+        .iter()
+        .map(|&t| RocPoint {
+            threshold: t,
+            fpr: frac_above(clean, t),
+            tpr: frac_above(faulty, t),
+        })
+        .collect()
+}
+
+fn frac_above(xs: &[f64], t: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&x| x > t).count() as f64 / xs.len() as f64
+}
+
+impl TrialResult {
+    /// Was the injected fault active during `iter`?
+    pub fn is_faulty_iter(&self, iter: u32) -> bool {
+        match (self.fault_iter, self.heal_iter) {
+            (Some(fi), Some(h)) => iter >= fi && iter < h,
+            (Some(fi), None) => iter >= fi,
+            _ => false,
+        }
+    }
+
+    /// Iterations between fault installation and the first alarm
+    /// (0 = caught within the very iteration it appeared — the paper's
+    /// "instantaneous detection"). `None` if no fault or never detected.
+    pub fn detection_latency_iters(&self) -> Option<u32> {
+        let fi = self.fault_iter?;
+        self.alarms
+            .iter()
+            .filter(|a| a.iter >= fi)
+            .map(|a| a.iter - fi)
+            .min()
+    }
+}
+
+/// Split a trial's recorded deviations into (clean, faulty) by iteration.
+pub fn split_devs(r: &TrialResult) -> (Vec<f64>, Vec<f64>) {
+    let mut clean = Vec::new();
+    let mut faulty = Vec::new();
+    for &(iter, d) in &r.iter_max_dev {
+        if r.is_faulty_iter(iter) {
+            faulty.push(d);
+        } else {
+            clean.push(d);
+        }
+    }
+    (clean, faulty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small, fast spec for unit tests (full-size runs live in fp-bench and
+    /// the integration suite).
+    fn small_spec() -> TrialSpec {
+        TrialSpec {
+            leaves: 8,
+            spines: 4,
+            bytes_per_node: 8 * 1024 * 1024,
+            iterations: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn clean_trial_raises_no_alarm() {
+        let r = run_trial(&small_spec());
+        assert!(!r.false_alarm, "alarms: {:?}", r.alarms);
+        assert!(!r.detected);
+        assert_eq!(r.iter_max_dev.len(), 3);
+        for &(_, d) in &r.iter_max_dev {
+            assert!(d < 0.01, "clean deviation {d}");
+        }
+    }
+
+    #[test]
+    fn injected_drop_is_detected_and_localized() {
+        let mut spec = small_spec();
+        spec.fault = Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.02 },
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        });
+        let r = run_trial(&spec);
+        assert!(r.detected, "devs: {:?}", r.iter_max_dev);
+        assert!(!r.false_alarm);
+        assert_eq!(r.localized_correctly, Some(true), "{:?}", r.localization);
+    }
+
+    #[test]
+    fn bidirectional_fault_localizes_to_cable() {
+        let mut spec = small_spec();
+        spec.fault = Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.05 },
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: true,
+        });
+        let r = run_trial(&spec);
+        assert!(r.detected);
+        assert_eq!(r.localized_correctly, Some(true), "{:?}", r.localization);
+    }
+
+    #[test]
+    fn preexisting_faults_do_not_false_alarm() {
+        let mut spec = small_spec();
+        spec.preexisting = 3;
+        let r = run_trial(&spec);
+        assert_eq!(r.preexisting_ports.len(), 3);
+        assert!(!r.false_alarm, "alarms: {:?}", r.alarms);
+    }
+
+    #[test]
+    fn new_fault_detected_on_top_of_preexisting() {
+        let mut spec = small_spec();
+        spec.preexisting = 2;
+        spec.fault = Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.05 },
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        });
+        let r = run_trial(&spec);
+        assert!(r.detected);
+        assert!(!r.false_alarm);
+    }
+
+    #[test]
+    fn learned_model_detects_too() {
+        let mut spec = small_spec();
+        spec.model = ModelKind::Learned { warmup: 1 };
+        spec.iterations = 4;
+        spec.fault = Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.03 },
+            at_iter: 2,
+            heal_at_iter: None,
+            bidirectional: false,
+        });
+        let r = run_trial(&spec);
+        assert!(r.detected, "learned events: {:?}", r.learned_events);
+        assert!(!r.false_alarm);
+    }
+
+    #[test]
+    fn blackhole_is_a_screaming_signal() {
+        let mut spec = small_spec();
+        spec.fault = Some(FaultSpec {
+            kind: InjectedFault::Blackhole,
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        });
+        let r = run_trial(&spec);
+        assert!(r.detected);
+        // The faulty iteration's deviation is enormous.
+        let (_, faulty) = split_devs(&r);
+        assert!(faulty.iter().any(|&d| d > 0.05), "{faulty:?}");
+    }
+
+    #[test]
+    fn detection_is_instantaneous() {
+        // §6: "precise, instantaneous detection" — the alarm fires in the
+        // very iteration the fault appears.
+        let mut spec = small_spec();
+        spec.fault = Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.05 },
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        });
+        let r = run_trial(&spec);
+        assert_eq!(r.detection_latency_iters(), Some(0));
+        // No fault → no latency to speak of.
+        let clean = run_trial(&small_spec());
+        assert_eq!(clean.detection_latency_iters(), None);
+    }
+
+    #[test]
+    fn rates_arithmetic() {
+        let r = Rates {
+            tp: 8,
+            fn_: 2,
+            fp: 1,
+            tn: 9,
+        };
+        assert!((r.fnr() - 0.2).abs() < 1e-12);
+        assert!((r.fpr() - 0.1).abs() < 1e-12);
+        assert!((r.tpr() - 0.8).abs() < 1e-12);
+        assert_eq!(Rates::default().fpr(), 0.0);
+        assert_eq!(Rates::default().fnr(), 0.0);
+    }
+
+    #[test]
+    fn roc_curve_monotonic_in_threshold() {
+        let clean = [0.001, 0.002, 0.004, 0.008];
+        let faulty = [0.012, 0.015, 0.02, 0.006];
+        let pts = roc_curve(&clean, &faulty, &[0.0005, 0.005, 0.01, 0.05]);
+        for w in pts.windows(2) {
+            assert!(w[0].fpr >= w[1].fpr);
+            assert!(w[0].tpr >= w[1].tpr);
+        }
+        // Perfect separation exists at 0.01 except the 0.006 faulty sample.
+        let p01 = pts.iter().find(|p| p.threshold == 0.01).unwrap();
+        assert_eq!(p01.fpr, 0.0);
+        assert!((p01.tpr - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cable_placement_respects_constraints() {
+        // 4 leaves x 2 vspines can lose at most one cable per leaf:
+        // 3 pre-existing + 1 injected = the maximum feasible 4.
+        let spec = TrialSpec {
+            leaves: 4,
+            spines: 2,
+            preexisting: 3,
+            ..small_spec()
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (pre, fault) = choose_cables(&spec, &mut rng, 3, true);
+        let mut all = pre.clone();
+        all.push(fault.unwrap());
+        // Distinct.
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+        // No leaf lost both uplinks.
+        for leaf in 0..4u32 {
+            let cnt = all.iter().filter(|(l, _)| *l == leaf).count();
+            assert!(cnt < 2, "leaf {leaf} lost all uplinks");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place another faulty cable")]
+    fn infeasible_cable_placement_panics() {
+        let spec = TrialSpec {
+            leaves: 4,
+            spines: 2,
+            ..small_spec()
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = choose_cables(&spec, &mut rng, 5, false);
+    }
+}

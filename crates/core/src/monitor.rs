@@ -1,0 +1,306 @@
+//! Continuous monitoring (paper §5.1/§5.3).
+//!
+//! The [`Monitor`] consumes the in-switch counters as training iterations
+//! complete and raises [`Alarm`]s on temporal-symmetry violations. Key
+//! behaviours from the paper:
+//!
+//! * An iteration is considered finished when the *next* iteration's first
+//!   packet is seen ("FlowPulse is oblivious to stragglers. It considers a
+//!   collective as finished at the start of the next iteration") — so the
+//!   monitor only evaluates *closed* iterations, plus an explicit flush at
+//!   job end.
+//! * Detection is per-leaf and requires no cross-switch coordination; the
+//!   monitor here just batches all leaves' independent checks in one pass.
+//! * The prediction can be a fixed model (analytical/simulation) or a
+//!   [`LearnedModel`] with healing rebaseline.
+
+use crate::detector::{Detector, Deviation};
+use crate::learned::{LearnedModel, LearnedUpdate};
+use crate::model::PortLoads;
+use fp_netsim::counters::CounterStore;
+use serde::{Deserialize, Serialize};
+
+/// Where predictions come from.
+pub enum ModelSource {
+    /// Analytical or simulation-based prediction, fixed for the job.
+    Fixed(PortLoads),
+    /// Learn from the first iterations (with healing rebaseline).
+    Learned(LearnedModel),
+}
+
+/// A per-leaf, per-iteration alarm.
+#[derive(Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct Alarm {
+    /// Training iteration that violated symmetry.
+    pub iter: u32,
+    /// Leaf that raised the alarm.
+    pub leaf: u32,
+    /// The offending ports.
+    pub deviations: Vec<Deviation>,
+}
+
+/// Continuous per-job monitor.
+pub struct Monitor {
+    /// Job (collective tag sentinel) being monitored.
+    pub job: u32,
+    /// Threshold comparator.
+    pub detector: Detector,
+    model: ModelSource,
+    next_iter: u32,
+    /// All alarms raised so far.
+    pub alarms: Vec<Alarm>,
+    /// Per-iteration max |relative deviation| (iter, value) — the raw
+    /// signal ROC sweeps evaluate many thresholds against. Only recorded
+    /// once a baseline/prediction exists.
+    pub iter_max_dev: Vec<(u32, f64)>,
+    /// Learned-model verdicts per iteration (empty for fixed models).
+    pub learned_events: Vec<(u32, LearnedUpdate)>,
+}
+
+impl Monitor {
+    /// Monitor `job` against a fixed prediction.
+    pub fn new_fixed(job: u32, detector: Detector, prediction: PortLoads) -> Self {
+        Monitor {
+            job,
+            detector,
+            model: ModelSource::Fixed(prediction),
+            next_iter: 0,
+            alarms: Vec::new(),
+            iter_max_dev: Vec::new(),
+            learned_events: Vec::new(),
+        }
+    }
+
+    /// Monitor `job` with a baseline learned from the first `warmup`
+    /// iterations.
+    pub fn new_learned(job: u32, detector: Detector, warmup: u32) -> Self {
+        Monitor {
+            job,
+            detector,
+            model: ModelSource::Learned(LearnedModel::new(warmup, detector.threshold)),
+            next_iter: 0,
+            alarms: Vec::new(),
+            iter_max_dev: Vec::new(),
+            learned_events: Vec::new(),
+        }
+    }
+
+    /// The learned model, if this monitor learns.
+    pub fn learned(&self) -> Option<&LearnedModel> {
+        match &self.model {
+            ModelSource::Learned(m) => Some(m),
+            ModelSource::Fixed(_) => None,
+        }
+    }
+
+    /// Process every *closed* iteration in `counters`. Iteration `i` is
+    /// closed once iteration `i+1` has been observed; pass `flush = true`
+    /// at end of job to evaluate the trailing iteration too.
+    pub fn scan(&mut self, counters: &CounterStore, flush: bool) {
+        loop {
+            let i = self.next_iter;
+            let Some(c) = counters.get(self.job, i) else {
+                break;
+            };
+            let closed = flush || counters.get(self.job, i + 1).is_some();
+            if !closed {
+                break;
+            }
+            let obs = PortLoads::from_counters(c);
+            self.evaluate(i, &obs);
+            self.next_iter += 1;
+        }
+    }
+
+    fn evaluate(&mut self, iter: u32, obs: &PortLoads) {
+        match &mut self.model {
+            ModelSource::Fixed(expected) => {
+                let expected = expected.clone();
+                self.iter_max_dev
+                    .push((iter, self.detector.max_abs_rel(&expected, obs)));
+                let devs = self.detector.compare(&expected, obs);
+                self.push_alarms(iter, devs);
+            }
+            ModelSource::Learned(lm) => {
+                let baseline_before = lm.baseline().cloned();
+                let verdict = lm.observe(obs);
+                self.learned_events.push((iter, verdict.clone()));
+                if let Some(base) = baseline_before {
+                    self.iter_max_dev
+                        .push((iter, self.detector.max_abs_rel(&base, obs)));
+                    if matches!(verdict, LearnedUpdate::Deviating { .. }) {
+                        let devs = self.detector.compare(&base, obs);
+                        self.push_alarms(iter, devs);
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_alarms(&mut self, iter: u32, devs: Vec<Deviation>) {
+        if devs.is_empty() {
+            return;
+        }
+        // Group by leaf: each leaf raises its own independent alarm.
+        let mut by_leaf: std::collections::BTreeMap<u32, Vec<Deviation>> = Default::default();
+        for d in devs {
+            by_leaf.entry(d.leaf).or_default().push(d);
+        }
+        for (leaf, deviations) in by_leaf {
+            self.alarms.push(Alarm {
+                iter,
+                leaf,
+                deviations,
+            });
+        }
+    }
+
+    /// Alarms raised for iterations in `[from, to)`.
+    pub fn alarms_in(&self, from: u32, to: u32) -> impl Iterator<Item = &Alarm> {
+        self.alarms
+            .iter()
+            .filter(move |a| a.iter >= from && a.iter < to)
+    }
+
+    /// Alarmed `(leaf, vspine)` ports across all iterations ≥ `from`
+    /// (input for ring localization).
+    pub fn alarmed_ports(&self, from: u32) -> Vec<(u32, u32)> {
+        self.collect_ports(from, |_| true)
+    }
+
+    /// Alarmed ports showing a *shortfall* (observed < expected). Fault
+    /// localization reasons about reduced traffic (§5.3); ports that merely
+    /// absorbed the retransmitted excess are excluded here.
+    pub fn shortfall_ports(&self, from: u32) -> Vec<(u32, u32)> {
+        self.collect_ports(from, |rel| rel < 0.0)
+    }
+
+    fn collect_ports(&self, from: u32, keep: impl Fn(f64) -> bool) -> Vec<(u32, u32)> {
+        let mut v: Vec<(u32, u32)> = self
+            .alarms
+            .iter()
+            .filter(|a| a.iter >= from)
+            .flat_map(|a| {
+                a.deviations
+                    .iter()
+                    .filter(|d| keep(d.rel))
+                    .map(|d| (d.leaf, d.vspine))
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_netsim::packet::CollectiveTag;
+    use fp_netsim::time::SimTime;
+
+    /// Build a counter store with `iters` iterations of the given per-port
+    /// byte matrix (1 leaf × 2 ports shape for brevity).
+    fn store(iters: &[[u64; 2]]) -> CounterStore {
+        let mut s = CounterStore::new(1, 2);
+        for (i, ports) in iters.iter().enumerate() {
+            for (v, &b) in ports.iter().enumerate() {
+                if b > 0 {
+                    s.record(
+                        0,
+                        v as u32,
+                        CollectiveTag {
+                            job: 1,
+                            iter: i as u32,
+                        },
+                        0,
+                        b,
+                        SimTime::from_ns(i as u64),
+                    );
+                }
+            }
+        }
+        s
+    }
+
+    fn prediction(a: f64, b: f64) -> PortLoads {
+        PortLoads {
+            n_leaves: 1,
+            n_vspines: 2,
+            bytes: vec![a, b],
+        }
+    }
+
+    #[test]
+    fn closed_iterations_only() {
+        let s = store(&[[1000, 1000], [1000, 1000]]);
+        let mut m = Monitor::new_fixed(1, Detector::new(0.01), prediction(1000.0, 1000.0));
+        m.scan(&s, false);
+        // Iteration 0 closed by iteration 1's presence; iteration 1 open.
+        assert_eq!(m.iter_max_dev.len(), 1);
+        m.scan(&s, true);
+        assert_eq!(m.iter_max_dev.len(), 2);
+        assert!(m.alarms.is_empty());
+    }
+
+    #[test]
+    fn scan_is_incremental() {
+        let s = store(&[[1000, 1000], [1000, 1000], [900, 1000]]);
+        let mut m = Monitor::new_fixed(1, Detector::new(0.01), prediction(1000.0, 1000.0));
+        m.scan(&s, false);
+        m.scan(&s, false); // idempotent on already-closed iterations
+        m.scan(&s, true);
+        assert_eq!(m.iter_max_dev.len(), 3);
+        assert_eq!(m.alarms.len(), 1);
+        assert_eq!(m.alarms[0].iter, 2);
+        assert_eq!(m.alarms[0].leaf, 0);
+        assert_eq!(m.alarms[0].deviations[0].vspine, 0);
+    }
+
+    #[test]
+    fn learned_monitor_warms_then_detects() {
+        let s = store(&[
+            [1000, 1000], // warmup
+            [1000, 1000], // consistent
+            [940, 1000],  // fault
+        ]);
+        let mut m = Monitor::new_learned(1, Detector::new(0.01), 1);
+        m.scan(&s, true);
+        assert_eq!(m.alarms.len(), 1);
+        assert_eq!(m.alarms[0].iter, 2);
+        // iter 0 had no baseline yet → only 2 max-dev records.
+        assert_eq!(m.iter_max_dev.len(), 2);
+        assert!(matches!(
+            m.learned_events[0],
+            (0, LearnedUpdate::BaselineReady)
+        ));
+    }
+
+    #[test]
+    fn learned_monitor_rebaselines_on_heal() {
+        let s = store(&[
+            [700, 1000],  // transient fault during warmup
+            [700, 1000],  // still faulty, consistent with learned baseline
+            [1000, 1000], // heal: rebaseline, no alarm
+            [1000, 1000], // consistent with new baseline
+        ]);
+        let mut m = Monitor::new_learned(1, Detector::new(0.01), 1);
+        m.scan(&s, true);
+        assert!(m.alarms.is_empty(), "heal must not alarm: {:?}", m.alarms);
+        assert!(m
+            .learned_events
+            .iter()
+            .any(|(_, u)| matches!(u, LearnedUpdate::Rebalanced)));
+        assert_eq!(m.learned().unwrap().rebaselines, 1);
+    }
+
+    #[test]
+    fn alarmed_ports_dedup() {
+        let s = store(&[[900, 1000], [900, 1000], [900, 1000]]);
+        let mut m = Monitor::new_fixed(1, Detector::new(0.01), prediction(1000.0, 1000.0));
+        m.scan(&s, true);
+        assert_eq!(m.alarmed_ports(0), vec![(0, 0)]);
+        assert_eq!(m.alarms.len(), 3); // one per iteration
+        assert_eq!(m.alarms_in(1, 2).count(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! A minimal fixed-capacity bitset used by the transport to track
+//! received/acknowledged segments without per-flow `HashSet` overhead.
+
+/// Fixed-capacity bitset over `u64` words.
+#[derive(Clone, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: u32,
+    ones: u32,
+}
+
+impl BitSet {
+    /// A bitset with `len` bits, all clear.
+    pub fn new(len: u32) -> Self {
+        BitSet {
+            words: vec![0; (len as usize).div_ceil(64)],
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True if capacity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits (O(1), maintained incrementally).
+    pub fn count(&self) -> u32 {
+        self.ones
+    }
+
+    /// True if every bit is set.
+    pub fn full(&self) -> bool {
+        self.ones == self.len
+    }
+
+    /// Get bit `i`. Panics if out of range in debug builds.
+    pub fn get(&self, i: u32) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Set bit `i`; returns `true` if it was newly set.
+    pub fn set(&mut self, i: u32) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let w = &mut self.words[(i / 64) as usize];
+        let m = 1u64 << (i % 64);
+        if *w & m == 0 {
+            *w |= m;
+            self.ones += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Index of the first clear bit, if any.
+    pub fn first_clear(&self) -> Option<u32> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != u64::MAX {
+                let bit = wi as u32 * 64 + w.trailing_ones();
+                if bit < self.len {
+                    return Some(bit);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = BitSet::new(130);
+        assert_eq!(b.count(), 0);
+        assert!(b.set(0));
+        assert!(b.set(64));
+        assert!(b.set(129));
+        assert!(!b.set(64)); // idempotent
+        assert_eq!(b.count(), 3);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert!(!b.full());
+    }
+
+    #[test]
+    fn full_detection() {
+        let mut b = BitSet::new(65);
+        for i in 0..65 {
+            b.set(i);
+        }
+        assert!(b.full());
+        assert_eq!(b.first_clear(), None);
+    }
+
+    #[test]
+    fn first_clear_skips_full_words() {
+        let mut b = BitSet::new(130);
+        for i in 0..64 {
+            b.set(i);
+        }
+        assert_eq!(b.first_clear(), Some(64));
+        b.set(64);
+        assert_eq!(b.first_clear(), Some(65));
+    }
+
+    #[test]
+    fn zero_len() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert!(b.full()); // vacuously
+        assert_eq!(b.first_clear(), None);
+    }
+}

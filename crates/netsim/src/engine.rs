@@ -1,0 +1,204 @@
+//! The discrete-event core: a deterministic min-heap of timed events.
+//!
+//! Events at equal timestamps are processed in insertion order (a per-heap
+//! sequence number breaks ties), so runs are bit-for-bit reproducible for a
+//! given seed regardless of platform.
+
+use crate::ids::{HostId, LinkId};
+use crate::packet::{FlowId, Packet};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Every kind of event the simulator processes.
+#[derive(Copy, Clone, Debug)]
+pub enum EventKind {
+    /// A link finished serializing its current packet.
+    TxDone {
+        /// The transmitting directed link.
+        link: LinkId,
+    },
+    /// A packet arrives at the far end of a link (serialization + latency
+    /// have elapsed and the packet survived any silent fault).
+    Delivery {
+        /// The link the packet traversed.
+        link: LinkId,
+        /// The packet itself.
+        pkt: Packet,
+    },
+    /// Retransmission timer for one segment.
+    Rto {
+        /// Owning flow.
+        flow: FlowId,
+        /// Segment sequence.
+        seq: u32,
+        /// How many times this segment has been retransmitted already.
+        attempt: u32,
+    },
+    /// Application wake-up (workload-scheduled).
+    Wake {
+        /// Host being woken.
+        host: HostId,
+        /// Opaque application token.
+        token: u64,
+    },
+    /// Apply entry `idx` of the fault schedule.
+    FaultUpdate {
+        /// Index into the schedule.
+        idx: u32,
+    },
+    /// A PFC pause/resume frame takes effect at the transmitter of `link`.
+    Pfc {
+        /// The directed link whose transmitter is being paused/resumed.
+        link: LinkId,
+        /// Priority class affected.
+        prio: u8,
+        /// `true` = pause, `false` = resume.
+        pause: bool,
+    },
+    /// Flush a partially-filled coalesced ACK for `flow`.
+    AckFlush {
+        /// Flow whose receiver has a pending ACK accumulation.
+        flow: FlowId,
+    },
+}
+
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+#[derive(Default)]
+pub struct EventHeap {
+    heap: BinaryHeap<HeapEntry>,
+    seq: u64,
+}
+
+impl EventHeap {
+    /// Empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapEntry { at, seq, kind });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|e| (e.at, e.kind))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (monotonic).
+    pub fn scheduled(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wake(t: u64, token: u64) -> (SimTime, EventKind) {
+        (
+            SimTime::from_ns(t),
+            EventKind::Wake {
+                host: HostId(0),
+                token,
+            },
+        )
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut h = EventHeap::new();
+        for (t, k) in [wake(30, 0), wake(10, 1), wake(20, 2)] {
+            h.push(t, k);
+        }
+        let times: Vec<u64> = std::iter::from_fn(|| h.pop().map(|(t, _)| t.as_ns())).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut h = EventHeap::new();
+        for i in 0..10u64 {
+            let (t, k) = wake(100, i);
+            h.push(t, k);
+        }
+        let tokens: Vec<u64> = std::iter::from_fn(|| {
+            h.pop().map(|(_, k)| match k {
+                EventKind::Wake { token, .. } => token,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(tokens, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut h = EventHeap::new();
+        let (t, k) = wake(55, 0);
+        h.push(t, k);
+        assert_eq!(h.peek_time(), Some(SimTime::from_ns(55)));
+        assert_eq!(h.len(), 1);
+        h.pop();
+        assert!(h.is_empty());
+        assert_eq!(h.peek_time(), None);
+    }
+
+    #[test]
+    fn scheduled_counts_all_pushes() {
+        let mut h = EventHeap::new();
+        for i in 0..5u64 {
+            let (t, k) = wake(i, i);
+            h.push(t, k);
+        }
+        h.pop();
+        assert_eq!(h.scheduled(), 5);
+    }
+}

@@ -1,0 +1,250 @@
+//! Link fault models and the fault-injection schedule.
+//!
+//! The paper distinguishes two axes of faultiness (§1, §4):
+//!
+//! * **Known faults** ([`FaultKind::AdminDown`]): the switch OS has detected
+//!   the fault and removed the link from routing. Spraying avoids spines that
+//!   cannot reach a destination leaf, which is exactly what makes the
+//!   analytical `d/(s−f)` load model correct in their presence.
+//! * **Silent faults** (everything else): the link keeps carrying traffic and
+//!   stays in the routing tables, but drops some or all packets without any
+//!   reflection in telemetry. These are what FlowPulse exists to catch.
+
+use crate::ids::LinkId;
+use crate::packet::Packet;
+use crate::rng::coin;
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// A fault condition on one directed link.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub enum FaultKind {
+    /// Known fault: link administratively removed from routing. No packets
+    /// are forwarded; spray sets are recomputed to exclude it.
+    AdminDown,
+    /// Silent random loss: each packet independently dropped with
+    /// probability `rate` (models an elevated bit-error rate whose corrupted
+    /// frames are CRC-dropped downstream — paper §6 "drop packets at a set
+    /// rate").
+    SilentDrop {
+        /// Per-packet drop probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Silent total black hole: every packet silently dropped (e.g. FIB
+    /// memory corruption, paper §1).
+    SilentBlackhole,
+    /// Silent selective black hole: only packets destined to hosts under
+    /// `dst_leaf` are dropped (a corrupted FIB entry for one prefix).
+    DstBlackhole {
+        /// Leaf index whose traffic disappears.
+        dst_leaf: u16,
+    },
+}
+
+impl FaultKind {
+    /// True for fault kinds that are invisible to routing/telemetry.
+    pub fn is_silent(&self) -> bool {
+        !matches!(self, FaultKind::AdminDown)
+    }
+
+    /// Decide whether this fault drops `pkt` (whose destination host sits
+    /// under `pkt_dst_leaf`). Only meaningful for silent faults; `AdminDown`
+    /// is enforced by routing, not per-packet sampling.
+    pub fn drops(&self, pkt: &Packet, pkt_dst_leaf: u16, rng: &mut SmallRng) -> bool {
+        match *self {
+            FaultKind::AdminDown => true,
+            FaultKind::SilentDrop { rate } => coin(rng, rate),
+            FaultKind::SilentBlackhole => true,
+            FaultKind::DstBlackhole { dst_leaf } => {
+                let _ = pkt;
+                pkt_dst_leaf == dst_leaf
+            }
+        }
+    }
+}
+
+/// What a scheduled fault event does.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub enum FaultAction {
+    /// Install (or replace) the fault on the link.
+    Set(FaultKind),
+    /// Heal the link: clear any fault and restore it to routing.
+    Clear,
+}
+
+/// A timed fault-injection entry.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct FaultEvent {
+    /// When the change takes effect.
+    pub at: SimTime,
+    /// Target directed link.
+    pub link: LinkId,
+    /// Apply to the reverse direction as well (physical-cable semantics).
+    pub bidirectional: bool,
+    /// Install or clear.
+    pub action: FaultAction,
+}
+
+impl FaultEvent {
+    /// Install `kind` on `link` (one direction) at `at`.
+    pub fn set(at: SimTime, link: LinkId, kind: FaultKind) -> Self {
+        FaultEvent {
+            at,
+            link,
+            bidirectional: false,
+            action: FaultAction::Set(kind),
+        }
+    }
+
+    /// Install `kind` on both directions of the physical link at `at`.
+    pub fn set_bidir(at: SimTime, link: LinkId, kind: FaultKind) -> Self {
+        FaultEvent {
+            at,
+            link,
+            bidirectional: true,
+            action: FaultAction::Set(kind),
+        }
+    }
+
+    /// Heal `link` (one direction) at `at`.
+    pub fn clear(at: SimTime, link: LinkId) -> Self {
+        FaultEvent {
+            at,
+            link,
+            bidirectional: false,
+            action: FaultAction::Clear,
+        }
+    }
+
+    /// Heal both directions of the physical link at `at`.
+    pub fn clear_bidir(at: SimTime, link: LinkId) -> Self {
+        FaultEvent {
+            at,
+            link,
+            bidirectional: true,
+            action: FaultAction::Clear,
+        }
+    }
+}
+
+/// Generate a link-flap schedule: `kind` is installed at `start`, then the
+/// link alternates faulty/healthy with the given on/off durations for
+/// `cycles` cycles (link flaps are one of the §1 fault classes; a flap
+/// whose "down" phases are silent looks like a bursty gray fault).
+pub fn flap_schedule(
+    link: LinkId,
+    kind: FaultKind,
+    start: SimTime,
+    on: crate::time::SimDuration,
+    off: crate::time::SimDuration,
+    cycles: u32,
+    bidirectional: bool,
+) -> Vec<FaultEvent> {
+    let mut out = Vec::with_capacity(2 * cycles as usize);
+    let mut t = start;
+    for _ in 0..cycles {
+        out.push(FaultEvent {
+            at: t,
+            link,
+            bidirectional,
+            action: FaultAction::Set(kind),
+        });
+        t = t + on;
+        out.push(FaultEvent {
+            at: t,
+            link,
+            bidirectional,
+            action: FaultAction::Clear,
+        });
+        t = t + off;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::HostId;
+    use crate::packet::{PacketKind, Priority};
+    use rand::SeedableRng;
+
+    fn pkt(dst: u32) -> Packet {
+        Packet {
+            kind: PacketKind::Data { flow: 0, seq: 0 },
+            src: HostId(0),
+            dst: HostId(dst),
+            size: 4096,
+            prio: Priority::MEASURED,
+            tag: None,
+            src_leaf: 0,
+            ingress: None,
+        }
+    }
+
+    #[test]
+    fn silent_classification() {
+        assert!(!FaultKind::AdminDown.is_silent());
+        assert!(FaultKind::SilentDrop { rate: 0.1 }.is_silent());
+        assert!(FaultKind::SilentBlackhole.is_silent());
+        assert!(FaultKind::DstBlackhole { dst_leaf: 3 }.is_silent());
+    }
+
+    #[test]
+    fn blackhole_drops_everything() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..32 {
+            assert!(FaultKind::SilentBlackhole.drops(&pkt(5), 2, &mut rng));
+        }
+    }
+
+    #[test]
+    fn dst_blackhole_is_selective() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let f = FaultKind::DstBlackhole { dst_leaf: 4 };
+        assert!(f.drops(&pkt(0), 4, &mut rng));
+        assert!(!f.drops(&pkt(0), 5, &mut rng));
+    }
+
+    #[test]
+    fn drop_rate_is_statistically_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let f = FaultKind::SilentDrop { rate: 0.015 };
+        let n = 100_000;
+        let drops = (0..n).filter(|_| f.drops(&pkt(1), 0, &mut rng)).count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.015).abs() < 0.002, "rate={rate}");
+    }
+
+    #[test]
+    fn flap_schedule_alternates() {
+        use crate::time::SimDuration;
+        let s = flap_schedule(
+            LinkId(3),
+            FaultKind::SilentBlackhole,
+            SimTime::from_us(10),
+            SimDuration::from_us(5),
+            SimDuration::from_us(15),
+            2,
+            false,
+        );
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].at, SimTime::from_us(10));
+        assert_eq!(s[0].action, FaultAction::Set(FaultKind::SilentBlackhole));
+        assert_eq!(s[1].at, SimTime::from_us(15));
+        assert_eq!(s[1].action, FaultAction::Clear);
+        assert_eq!(s[2].at, SimTime::from_us(30));
+        assert_eq!(s[3].at, SimTime::from_us(35));
+        // Strictly increasing times.
+        for w in s.windows(2) {
+            assert!(w[0].at < w[1].at);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_rates_are_exact() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!(!FaultKind::SilentDrop { rate: 0.0 }.drops(&pkt(1), 0, &mut rng));
+        assert!(FaultKind::SilentDrop { rate: 1.0 }.drops(&pkt(1), 0, &mut rng));
+    }
+}

@@ -1,0 +1,1421 @@
+//! The simulator: event loop, switching, spraying, PFC, transport.
+//!
+//! [`Simulator`] owns the whole world — topology, per-link queues, per-switch
+//! PFC state, the transport flow table, FlowPulse counters — and processes a
+//! deterministic event heap. See the crate docs for the model; the short
+//! version:
+//!
+//! * Output-queued switches with strict-priority egress queues per directed
+//!   link. A packet arriving at a switch is routed and enqueued instantly;
+//!   time passes in link serialization and propagation.
+//! * Leaf switches spray packets over all uplinks that (per the routing
+//!   tables, i.e. *known* faults only) can reach the destination leaf.
+//! * Spine planes forward down the same plane the packet went up on.
+//! * Silent faults sample drops at the end of serialization — the packet
+//!   burned wire time but never arrives, exactly like a CRC-failed frame.
+//! * PFC: per ingress-port/priority buffered-byte accounting with XOFF/XON
+//!   thresholds; PAUSE frames take one link latency to take effect.
+//! * Transport: per-segment RTO with exponential backoff, coalesced
+//!   selective ACKs, reorder-tolerant receivers.
+
+use crate::app::Application;
+use crate::config::SimConfig;
+use crate::counters::CounterStore;
+use crate::engine::{EventHeap, EventKind};
+use crate::fault::{FaultAction, FaultEvent, FaultKind};
+use crate::ids::{HostId, LinkId, NodeId, SwitchId};
+use crate::packet::{AckBlock, CollectiveTag, FlowId, Packet, PacketKind, Priority, NPRIO};
+use crate::rng::RngStreams;
+use crate::spray;
+use crate::stats::{DropCause, Stats};
+use crate::time::SimTime;
+use crate::topology::{LinkClass, SwitchKind, Topology};
+use crate::trace::{TraceBuffer, TraceEvent};
+use crate::transport::{AckAccum, FlowState};
+use std::collections::VecDeque;
+
+/// Runtime state of one directed link (its egress queue lives at the
+/// transmitting node).
+#[derive(Debug)]
+pub struct LinkState {
+    /// Administratively up (known faults take links out of routing).
+    pub admin_up: bool,
+    /// Installed silent fault, if any.
+    pub fault: Option<FaultKind>,
+    /// Currently serializing a packet.
+    pub txing: bool,
+    current: Option<Packet>,
+    queues: [VecDeque<Packet>; NPRIO],
+    /// Queued **plus in-flight** wire bytes across priorities — the APS load
+    /// signal. Including the packet currently serializing is what lets
+    /// least-loaded spraying rotate away from the port it just used (as
+    /// DRILL-style hardware does) instead of seeing all-empty queues.
+    pub queued_bytes: u64,
+    /// PFC pause state per priority (set by the downstream receiver).
+    pub paused: [bool; NPRIO],
+    /// Packets fully serialized onto this link.
+    pub txed_pkts: u64,
+    /// Wire bytes fully serialized onto this link.
+    pub txed_bytes: u64,
+    /// Packets delivered at the far end (survived faults).
+    pub delivered_pkts: u64,
+    /// Payload bytes delivered at the far end.
+    pub delivered_bytes: u64,
+}
+
+impl LinkState {
+    fn new() -> Self {
+        LinkState {
+            admin_up: true,
+            fault: None,
+            txing: false,
+            current: None,
+            queues: Default::default(),
+            queued_bytes: 0,
+            paused: [false; NPRIO],
+            txed_pkts: 0,
+            txed_bytes: 0,
+            delivered_pkts: 0,
+            delivered_bytes: 0,
+        }
+    }
+
+    /// Packets waiting in all priority queues.
+    pub fn queued_pkts(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+/// Runtime state of one switch.
+#[derive(Debug)]
+struct SwitchState {
+    /// Buffered bytes per (ingress port, priority) — PFC accounting.
+    ingress_usage: Vec<[u64; NPRIO]>,
+    /// Whether a PAUSE is outstanding per (ingress port, priority).
+    pause_sent: Vec<[bool; NPRIO]>,
+    /// Round-robin spray cursor.
+    rr_cursor: u64,
+    /// Leaf only: valid uplinks per destination leaf (admin state only —
+    /// silent faults are *not* reflected here, that's the point).
+    valid_up: Vec<Vec<LinkId>>,
+    /// 3-level aggs only: valid agg→core uplinks per destination pod.
+    valid_core: Vec<Vec<LinkId>>,
+    /// [`SprayPolicy::Adaptive`]: decaying per-upstream-port byte counters
+    /// (the utilization half of the load signal). Sized `n_vspines` on
+    /// leaves, `cores_per_group` on 3-level aggs.
+    spray_deficit: Vec<u64>,
+    /// Timestamp base for the lazy exponential decay of `spray_deficit`.
+    spray_deficit_at: Vec<u64>,
+}
+
+/// Runtime state of one host NIC.
+#[derive(Debug)]
+struct HostState {
+    leaf: u32,
+    /// Flows with fresh segments left, drained round-robin.
+    active: VecDeque<FlowId>,
+}
+
+/// Which upstream table a spray decision consults.
+#[derive(Copy, Clone)]
+enum SprayTable {
+    /// Leaf uplinks valid toward this destination leaf.
+    Up(u32),
+    /// Agg→core uplinks valid toward this destination pod (3-level).
+    Core(u32),
+}
+
+/// Why [`Simulator::run`] returned.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RunReason {
+    /// The event heap drained: nothing left to do.
+    Drained,
+    /// `max_events` was hit (safety stop).
+    EventLimit,
+    /// The time horizon passed.
+    TimeLimit,
+}
+
+/// Result of a run.
+#[derive(Copy, Clone, Debug)]
+pub struct RunSummary {
+    /// Events processed in this call.
+    pub events: u64,
+    /// Simulated clock at return.
+    pub end: SimTime,
+    /// Why the run stopped.
+    pub reason: RunReason,
+}
+
+/// The packet-level fat-tree simulator.
+pub struct Simulator {
+    /// Configuration (immutable after construction).
+    pub cfg: SimConfig,
+    /// The fabric.
+    pub topo: Topology,
+    now: SimTime,
+    heap: EventHeap,
+    links: Vec<LinkState>,
+    switches: Vec<SwitchState>,
+    hosts: Vec<HostState>,
+    /// Transport flow table (public for inspection by harnesses).
+    pub flows: Vec<FlowState>,
+    rng: RngStreams,
+    /// Aggregate run statistics.
+    pub stats: Stats,
+    /// FlowPulse in-switch counters at the leaf level (spine→leaf ingress).
+    pub counters: CounterStore,
+    /// 3-level only: FlowPulse counters at the aggregation level
+    /// (core→agg ingress); dimensions are `(n_aggs, cores_per_group)`.
+    /// Empty (0×0) on 2-level fabrics.
+    pub agg_counters: CounterStore,
+    /// Exceptional-event trace.
+    pub trace: TraceBuffer,
+    app: Option<Box<dyn Application>>,
+    app_started: bool,
+    fault_events: Vec<FaultEvent>,
+    scratch_cands: Vec<LinkId>,
+    scratch_loads: Vec<u64>,
+}
+
+impl Simulator {
+    /// Build a simulator over `topo` with `cfg`, seeded with `seed`.
+    pub fn new(topo: Topology, cfg: SimConfig, seed: u64) -> Simulator {
+        cfg.validate().expect("invalid SimConfig");
+        let n_links = topo.n_links();
+        let n_switches = topo.n_switches();
+        let links = (0..n_links).map(|_| LinkState::new()).collect();
+        let three_level = topo.is_three_level();
+        let switches = (0..n_switches)
+            .map(|i| {
+                let (n_valid_up, n_valid_core, n_deficit) = match topo.switch_kind[i] {
+                    SwitchKind::Leaf(_) => (topo.n_leaves(), 0, topo.n_vspines()),
+                    SwitchKind::Spine(_) if three_level => (
+                        0,
+                        topo.pods as usize,
+                        topo.cores_per_group as usize,
+                    ),
+                    SwitchKind::Spine(_) | SwitchKind::Core(_) => (0, 0, 0),
+                };
+                SwitchState {
+                    ingress_usage: vec![[0; NPRIO]; topo.switch_ports[i] as usize],
+                    pause_sent: vec![[false; NPRIO]; topo.switch_ports[i] as usize],
+                    rr_cursor: 0,
+                    valid_up: vec![Vec::new(); n_valid_up],
+                    valid_core: vec![Vec::new(); n_valid_core],
+                    spray_deficit: vec![0; n_deficit],
+                    spray_deficit_at: vec![0; n_deficit],
+                }
+            })
+            .collect();
+        let hosts = (0..topo.n_hosts())
+            .map(|h| HostState {
+                leaf: topo.host_leaf[h],
+                active: VecDeque::new(),
+            })
+            .collect();
+        let counters = CounterStore::new(topo.n_leaves(), topo.n_vspines());
+        let agg_counters = CounterStore::new_with_src(
+            topo.n_aggs(),
+            topo.cores_per_group as usize,
+            topo.n_leaves(),
+        );
+        let mut sim = Simulator {
+            cfg,
+            topo,
+            now: SimTime::ZERO,
+            heap: EventHeap::new(),
+            links,
+            switches,
+            hosts,
+            flows: Vec::new(),
+            rng: RngStreams::new(seed),
+            stats: Stats::default(),
+            counters,
+            agg_counters,
+            trace: TraceBuffer::new(4096),
+            app: None,
+            app_started: false,
+            fault_events: Vec::new(),
+            scratch_cands: Vec::new(),
+            scratch_loads: Vec::new(),
+        };
+        sim.recompute_routing();
+        sim
+    }
+
+    /// Install the workload. Its `on_start` fires when `run*` is first
+    /// called.
+    pub fn set_app(&mut self, app: Box<dyn Application>) {
+        self.app = Some(app);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read-only view of a link's runtime state.
+    pub fn link(&self, id: LinkId) -> &LinkState {
+        &self.links[id.idx()]
+    }
+
+    /// The leaf a host hangs off.
+    pub fn host_leaf(&self, h: HostId) -> u32 {
+        self.hosts[h.idx()].leaf
+    }
+
+    /// Valid (admin-known) uplinks from `leaf` toward `dst_leaf` — the spray
+    /// candidate set. Exposed for load models.
+    pub fn valid_uplinks(&self, leaf: u32, dst_leaf: u32) -> &[LinkId] {
+        &self.switches[leaf as usize].valid_up[dst_leaf as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Schedule a fault event for later application.
+    pub fn schedule_fault(&mut self, ev: FaultEvent) {
+        let idx = self.fault_events.len() as u32;
+        self.fault_events.push(ev);
+        self.heap.push(ev.at, EventKind::FaultUpdate { idx });
+    }
+
+    /// Apply a fault action right now.
+    pub fn apply_fault_now(&mut self, link: LinkId, action: FaultAction, bidirectional: bool) {
+        self.apply_fault_action(link, action);
+        if bidirectional {
+            let peer = self.topo.peer[link.idx()];
+            self.apply_fault_action(peer, action);
+        }
+    }
+
+    fn apply_fault_action(&mut self, link: LinkId, action: FaultAction) {
+        match action {
+            FaultAction::Set(kind) => {
+                self.trace.push(self.now, TraceEvent::FaultSet { link, kind });
+                if kind == FaultKind::AdminDown {
+                    self.links[link.idx()].admin_up = false;
+                    self.links[link.idx()].fault = None;
+                    self.drain_link_queues(link);
+                    self.recompute_routing();
+                } else {
+                    self.links[link.idx()].fault = Some(kind);
+                }
+            }
+            FaultAction::Clear => {
+                self.trace.push(self.now, TraceEvent::FaultCleared { link });
+                let was_down = !self.links[link.idx()].admin_up;
+                self.links[link.idx()].fault = None;
+                self.links[link.idx()].admin_up = true;
+                if was_down {
+                    self.recompute_routing();
+                }
+                self.try_start_tx(link);
+            }
+        }
+    }
+
+    /// Drop everything queued on a link that just went admin-down,
+    /// releasing PFC accounting for each dropped packet.
+    fn drain_link_queues(&mut self, link: LinkId) {
+        for q in 0..NPRIO {
+            while let Some(pkt) = self.links[link.idx()].queues[q].pop_front() {
+                let wire = self.wire_size(&pkt);
+                self.links[link.idx()].queued_bytes -= wire;
+                self.stats.drop(DropCause::AdminDown);
+                self.trace.push(
+                    self.now,
+                    TraceEvent::Drop {
+                        link,
+                        cause: DropCause::AdminDown,
+                        flow: match pkt.kind {
+                            PacketKind::Data { flow, .. } => Some(flow),
+                            _ => None,
+                        },
+                    },
+                );
+                self.pfc_release(link, &pkt, wire);
+            }
+        }
+    }
+
+    /// Rebuild all valid-uplink sets (leaf→agg and, for 3-level, agg→core)
+    /// from link admin state.
+    fn recompute_routing(&mut self) {
+        let nl = self.topo.n_leaves();
+        let nv = self.topo.n_vspines();
+        let three = self.topo.is_three_level();
+        let pods = self.topo.pods;
+        let k = self.topo.cores_per_group;
+
+        // Agg→core validity first (leaf validity depends on it).
+        if three {
+            for g in 0..self.topo.n_aggs() as u32 {
+                let sw = nl + g as usize; // agg switch id
+                let a = g % nv as u32; // within-pod agg index = core group
+                for dst_pod in 0..pods {
+                    let mut set =
+                        std::mem::take(&mut self.switches[sw].valid_core[dst_pod as usize]);
+                    set.clear();
+                    for kk in 0..k {
+                        let up = self.topo.agg_uplink(g, kk);
+                        let c = self.topo.core_global(a, kk);
+                        let down = self.topo.core_downlink(c, dst_pod);
+                        if self.links[up.idx()].admin_up && self.links[down.idx()].admin_up {
+                            set.push(up);
+                        }
+                    }
+                    self.switches[sw].valid_core[dst_pod as usize] = set;
+                }
+            }
+        }
+
+        for leaf in 0..nl {
+            let src_pod = self.topo.pod_of_leaf(leaf as u32);
+            for dst in 0..nl {
+                let mut set = std::mem::take(&mut self.switches[leaf].valid_up[dst]);
+                set.clear();
+                if dst != leaf {
+                    let dst_pod = self.topo.pod_of_leaf(dst as u32);
+                    for v in 0..nv {
+                        let up = self.topo.uplink(leaf as u32, v as u32);
+                        let down = self.topo.downlink(v as u32, dst as u32);
+                        if !(self.links[up.idx()].admin_up && self.links[down.idx()].admin_up) {
+                            continue;
+                        }
+                        if three && dst_pod != src_pod {
+                            // Cross-pod: the source-pod agg must still
+                            // reach the destination pod via some core.
+                            let g = self.topo.agg_global(src_pod, v as u32);
+                            let agg_sw = nl + g as usize;
+                            if self.switches[agg_sw].valid_core[dst_pod as usize].is_empty() {
+                                continue;
+                            }
+                        }
+                        set.push(up);
+                    }
+                }
+                self.switches[leaf].valid_up[dst] = set;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Workload API
+    // ------------------------------------------------------------------
+
+    /// Post a message of `bytes` from `src` to `dst`. Segments are injected
+    /// at line rate as the NIC drains. Returns the flow id.
+    pub fn post_message(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        tag: Option<CollectiveTag>,
+        prio: Priority,
+    ) -> FlowId {
+        assert!(src != dst, "self-addressed message");
+        let id = self.flows.len() as FlowId;
+        self.flows.push(FlowState::new(
+            src,
+            dst,
+            bytes,
+            self.cfg.mtu,
+            tag,
+            prio,
+            self.now,
+        ));
+        self.hosts[src.idx()].active.push_back(id);
+        self.try_start_tx(self.topo.host_up[src.idx()]);
+        id
+    }
+
+    /// Schedule an application wake-up at absolute time `at`.
+    pub fn schedule_wake(&mut self, at: SimTime, host: HostId, token: u64) {
+        debug_assert!(at >= self.now);
+        self.heap.push(at, EventKind::Wake { host, token });
+    }
+
+    // ------------------------------------------------------------------
+    // Run loop
+    // ------------------------------------------------------------------
+
+    fn start_app_if_needed(&mut self) {
+        if !self.app_started {
+            self.app_started = true;
+            self.with_app(|app, sim| app.on_start(sim));
+        }
+    }
+
+    /// Run until the event heap drains (the workload stops posting work).
+    pub fn run(&mut self) -> RunSummary {
+        self.run_inner(SimTime::MAX)
+    }
+
+    /// Run until simulated time `horizon` (events at exactly `horizon` are
+    /// processed). The clock is left at `horizon` if the heap drained early.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunSummary {
+        let s = self.run_inner(horizon);
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        s
+    }
+
+    fn run_inner(&mut self, horizon: SimTime) -> RunSummary {
+        self.start_app_if_needed();
+        let start_events = self.stats.events;
+        let reason = loop {
+            match self.heap.peek_time() {
+                None => break RunReason::Drained,
+                Some(t) if t > horizon => break RunReason::TimeLimit,
+                Some(_) => {}
+            }
+            if self.stats.events >= self.cfg.max_events {
+                break RunReason::EventLimit;
+            }
+            let (at, kind) = self.heap.pop().expect("peeked");
+            self.dispatch(at, kind);
+        };
+        RunSummary {
+            events: self.stats.events - start_events,
+            end: self.now,
+            reason,
+        }
+    }
+
+    /// Process a single event (test/debug hook). Returns false if idle.
+    pub fn step(&mut self) -> bool {
+        self.start_app_if_needed();
+        match self.heap.pop() {
+            Some((at, kind)) => {
+                self.dispatch(at, kind);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn dispatch(&mut self, at: SimTime, kind: EventKind) {
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.stats.events += 1;
+        match kind {
+            EventKind::TxDone { link } => self.handle_tx_done(link),
+            EventKind::Delivery { link, pkt } => self.handle_delivery(link, pkt),
+            EventKind::Rto {
+                flow,
+                seq,
+                attempt,
+            } => self.handle_rto(flow, seq, attempt),
+            EventKind::Wake { host, token } => {
+                self.with_app(|app, sim| app.on_wake(sim, host, token))
+            }
+            EventKind::FaultUpdate { idx } => {
+                let ev = self.fault_events[idx as usize];
+                self.apply_fault_now(ev.link, ev.action, ev.bidirectional);
+            }
+            EventKind::Pfc { link, prio, pause } => self.handle_pfc(link, prio, pause),
+            EventKind::AckFlush { flow } => self.handle_ack_flush(flow),
+        }
+    }
+
+    fn with_app<F: FnOnce(&mut dyn Application, &mut Simulator)>(&mut self, f: F) {
+        if let Some(mut app) = self.app.take() {
+            f(app.as_mut(), self);
+            self.app = Some(app);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    fn wire_size(&self, pkt: &Packet) -> u64 {
+        pkt.size as u64 + self.cfg.wire_overhead as u64
+    }
+
+    /// Deficit-table slot of an upstream (sprayed) link: the vspine index
+    /// for leaf uplinks, the core slot for agg uplinks.
+    fn deficit_idx(&self, up: LinkId) -> u32 {
+        match self.topo.links[up.idx()].class {
+            LinkClass::LeafUp { vspine, .. } => vspine,
+            LinkClass::AggUp { core_k, .. } => core_k,
+            c => unreachable!("not a sprayed uplink: {c:?}"),
+        }
+    }
+
+    /// One APS decision: pick among the switch's valid upstream links for
+    /// the given table (leaf→spine per destination leaf, or 3-level
+    /// agg→core per destination pod), honouring the configured policy and
+    /// charging the adaptive byte deficit.
+    fn spray_among(&mut self, sw: SwitchId, table: SprayTable, pkt: &Packet) -> Option<LinkId> {
+        let mut cands = std::mem::take(&mut self.scratch_cands);
+        cands.clear();
+        {
+            let s = &self.switches[sw.idx()];
+            let set = match table {
+                SprayTable::Up(dst_leaf) => &s.valid_up[dst_leaf as usize],
+                SprayTable::Core(dst_pod) => &s.valid_core[dst_pod as usize],
+            };
+            cands.extend_from_slice(set);
+        }
+        if cands.is_empty() {
+            self.scratch_cands = cands;
+            return None;
+        }
+        let adaptive = self.cfg.spray == spray::SprayPolicy::Adaptive;
+        let chosen = if cands.len() == 1 {
+            cands[0]
+        } else {
+            let mut loads = std::mem::take(&mut self.scratch_loads);
+            loads.clear();
+            for &id in &cands {
+                let mut load = self.links[id.idx()].queued_bytes;
+                if adaptive {
+                    load += self.decayed_deficit(sw, self.deficit_idx(id));
+                }
+                loads.push(load);
+            }
+            let i = spray::choose(
+                self.cfg.spray,
+                &loads,
+                &mut self.switches[sw.idx()].rr_cursor,
+                &mut self.rng.spray,
+            );
+            let c = cands[i];
+            self.scratch_loads = loads;
+            c
+        };
+        self.scratch_cands = cands;
+        if adaptive {
+            let v = self.deficit_idx(chosen) as usize;
+            let wire = self.wire_size(pkt);
+            self.switches[sw.idx()].spray_deficit[v] += wire;
+        }
+        Some(chosen)
+    }
+
+    /// Read leaf `sw`'s spray deficit for `vspine`, applying lazy
+    /// exponential decay: the counter halves every `spray_tau`. This is the
+    /// EWMA-like utilization signal of [`spray::SprayPolicy::Adaptive`].
+    fn decayed_deficit(&mut self, sw: SwitchId, vspine: u32) -> u64 {
+        let tau = self.cfg.spray_tau.as_ns();
+        let s = &mut self.switches[sw.idx()];
+        let v = vspine as usize;
+        if tau > 0 {
+            let now = self.now.as_ns();
+            let elapsed = now.saturating_sub(s.spray_deficit_at[v]);
+            let halvings = elapsed / tau;
+            if halvings > 0 {
+                s.spray_deficit[v] >>= halvings.min(63);
+                s.spray_deficit_at[v] += halvings * tau;
+            }
+        }
+        s.spray_deficit[v]
+    }
+
+    /// Start transmitting on `link` if it is idle and something is eligible.
+    fn try_start_tx(&mut self, link: LinkId) {
+        {
+            let l = &self.links[link.idx()];
+            if l.txing || !l.admin_up {
+                return;
+            }
+        }
+        let src = self.topo.links[link.idx()].src;
+        let mut chosen: Option<Packet> = None;
+        for q in 0..NPRIO {
+            if self.links[link.idx()].paused[q] {
+                continue;
+            }
+            // queued_bytes is *not* decremented here: it tracks queued plus
+            // in-flight bytes and is released at TxDone.
+            if let Some(pkt) = self.links[link.idx()].queues[q].pop_front() {
+                chosen = Some(pkt);
+                break;
+            }
+            if let NodeId::Host(h) = src {
+                if let Some(pkt) = self.next_fresh(h, q) {
+                    // Fresh segments bypass the queue; charge them so the
+                    // in-flight accounting stays symmetric.
+                    let wire = self.wire_size(&pkt);
+                    self.links[link.idx()].queued_bytes += wire;
+                    chosen = Some(pkt);
+                    break;
+                }
+            }
+        }
+        let Some(pkt) = chosen else { return };
+        let wire = self.wire_size(&pkt);
+        let ser = self.topo.links[link.idx()].bandwidth.ser_time(wire);
+        let l = &mut self.links[link.idx()];
+        l.txing = true;
+        l.current = Some(pkt);
+        self.heap.push(self.now + ser, EventKind::TxDone { link });
+    }
+
+    /// Pull the next fresh (never-sent) segment at priority class `q` from
+    /// host `h`'s active flows, round-robin. Arms the first RTO.
+    fn next_fresh(&mut self, h: HostId, q: usize) -> Option<Packet> {
+        let n = self.hosts[h.idx()].active.len();
+        for _ in 0..n {
+            let fid = self.hosts[h.idx()].active.pop_front().expect("len checked");
+            let f = &self.flows[fid as usize];
+            if !f.has_fresh() {
+                // Exhausted (or failed): drop from the active set.
+                continue;
+            }
+            if f.prio.idx() != q {
+                self.hosts[h.idx()].active.push_back(fid);
+                continue;
+            }
+            let f = &mut self.flows[fid as usize];
+            let seq = f.next_seq;
+            f.next_seq += 1;
+            let pkt = Packet {
+                kind: PacketKind::Data { flow: fid, seq },
+                src: f.src,
+                dst: f.dst,
+                size: f.seg_size(seq),
+                prio: f.prio,
+                tag: f.tag,
+                src_leaf: self.hosts[h.idx()].leaf as u16,
+                ingress: None,
+            };
+            let still_fresh = self.flows[fid as usize].has_fresh();
+            if still_fresh {
+                self.hosts[h.idx()].active.push_back(fid);
+            }
+            self.stats.data_pkts_sent += 1;
+            self.heap.push(
+                self.now + self.cfg.rto,
+                EventKind::Rto {
+                    flow: fid,
+                    seq,
+                    attempt: 0,
+                },
+            );
+            return Some(pkt);
+        }
+        None
+    }
+
+    fn handle_tx_done(&mut self, link: LinkId) {
+        let pkt = self.links[link.idx()]
+            .current
+            .take()
+            .expect("TxDone without current packet");
+        let wire = self.wire_size(&pkt);
+        {
+            let l = &mut self.links[link.idx()];
+            l.txing = false;
+            l.txed_pkts += 1;
+            l.txed_bytes += wire;
+            debug_assert!(l.queued_bytes >= wire, "in-flight accounting underflow");
+            l.queued_bytes -= wire;
+        }
+        self.stats.pkts_txed += 1;
+        // Release PFC budget the packet held at this node.
+        self.pfc_release(link, &pkt, wire);
+        // Silent-fault sampling: the packet burned wire time; does it arrive?
+        let dropped = match self.links[link.idx()].fault {
+            Some(fault) if fault.is_silent() => {
+                let dst_leaf = self.topo.leaf_of(pkt.dst) as u16;
+                fault.drops(&pkt, dst_leaf, &mut self.rng.fault)
+            }
+            _ => false,
+        };
+        if dropped {
+            self.stats.drop(DropCause::SilentFault);
+            self.trace.push(
+                self.now,
+                TraceEvent::Drop {
+                    link,
+                    cause: DropCause::SilentFault,
+                    flow: match pkt.kind {
+                        PacketKind::Data { flow, .. } => Some(flow),
+                        _ => None,
+                    },
+                },
+            );
+        } else {
+            let latency = self.topo.links[link.idx()].latency;
+            self.heap
+                .push(self.now + latency, EventKind::Delivery { link, pkt });
+        }
+        self.try_start_tx(link);
+    }
+
+    /// Decrement PFC ingress accounting for a packet leaving (or being
+    /// dropped from) the buffer of the node that transmits `out_link`;
+    /// send RESUME upstream if we fall below XON.
+    fn pfc_release(&mut self, out_link: LinkId, pkt: &Packet, wire: u64) {
+        if !self.cfg.pfc.enabled {
+            return;
+        }
+        let Some(in_link) = pkt.ingress else { return };
+        let NodeId::Switch(sw) = self.topo.links[out_link.idx()].src else {
+            return;
+        };
+        let port = self.topo.links[in_link.idx()].dst_port as usize;
+        let q = pkt.prio.idx();
+        let s = &mut self.switches[sw.idx()];
+        debug_assert!(s.ingress_usage[port][q] >= wire, "pfc accounting underflow");
+        s.ingress_usage[port][q] -= wire;
+        if s.pause_sent[port][q] && s.ingress_usage[port][q] <= self.cfg.pfc.xon_bytes {
+            s.pause_sent[port][q] = false;
+            self.stats.pfc_resumes += 1;
+            let delay = self.topo.links[self.topo.peer[in_link.idx()].idx()].latency;
+            self.heap.push(
+                self.now + delay,
+                EventKind::Pfc {
+                    link: in_link,
+                    prio: q as u8,
+                    pause: false,
+                },
+            );
+        }
+    }
+
+    fn handle_pfc(&mut self, link: LinkId, prio: u8, pause: bool) {
+        self.links[link.idx()].paused[prio as usize] = pause;
+        self.trace.push(
+            self.now,
+            TraceEvent::PfcState {
+                link,
+                prio,
+                paused: pause,
+            },
+        );
+        if !pause {
+            self.try_start_tx(link);
+        }
+    }
+
+    fn handle_delivery(&mut self, link: LinkId, pkt: Packet) {
+        {
+            let l = &mut self.links[link.idx()];
+            l.delivered_pkts += 1;
+            l.delivered_bytes += pkt.size as u64;
+        }
+        match self.topo.links[link.idx()].dst {
+            NodeId::Switch(sw) => self.switch_receive(sw, link, pkt),
+            NodeId::Host(h) => self.host_receive(h, pkt),
+        }
+    }
+
+    fn switch_receive(&mut self, sw: SwitchId, in_link: LinkId, mut pkt: Packet) {
+        // FlowPulse counters: tagged data arriving at a monitored ingress —
+        // spine→leaf ports at leaves, core→agg ports at 3-level aggs.
+        match self.topo.links[in_link.idx()].class {
+            LinkClass::SpineDown { vspine, leaf } => {
+                if pkt.is_data() {
+                    if let Some(tag) = pkt.tag {
+                        self.counters.record(
+                            leaf,
+                            vspine,
+                            tag,
+                            pkt.src_leaf as u32,
+                            pkt.size as u64,
+                            self.now,
+                        );
+                    }
+                }
+            }
+            LinkClass::CoreDown { core, agg } => {
+                if pkt.is_data() {
+                    if let Some(tag) = pkt.tag {
+                        let k = core % self.topo.cores_per_group.max(1);
+                        self.agg_counters.record(
+                            agg,
+                            k,
+                            tag,
+                            pkt.src_leaf as u32,
+                            pkt.size as u64,
+                            self.now,
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+        match self.route(sw, &pkt, in_link) {
+            Some(out_link) => {
+                pkt.ingress = Some(in_link);
+                self.enqueue(out_link, pkt);
+            }
+            None => {
+                self.stats.drop(DropCause::NoRoute);
+                self.trace.push(
+                    self.now,
+                    TraceEvent::Drop {
+                        link: in_link,
+                        cause: DropCause::NoRoute,
+                        flow: match pkt.kind {
+                            PacketKind::Data { flow, .. } => Some(flow),
+                            _ => None,
+                        },
+                    },
+                );
+            }
+        }
+    }
+
+    /// Pick the egress link for `pkt` at switch `sw`.
+    fn route(&mut self, sw: SwitchId, pkt: &Packet, in_link: LinkId) -> Option<LinkId> {
+        match self.topo.switch_kind[sw.idx()] {
+            SwitchKind::Leaf(l) => {
+                let dst_leaf = self.topo.leaf_of(pkt.dst);
+                if dst_leaf == l {
+                    let down = self.topo.host_down[pkt.dst.idx()];
+                    return self.links[down.idx()].admin_up.then_some(down);
+                }
+                // Upstream: adaptive per-packet spray over valid uplinks.
+                self.spray_among(sw, SprayTable::Up(dst_leaf), pkt)
+            }
+            SwitchKind::Spine(g) => {
+                let dst_leaf = self.topo.leaf_of(pkt.dst);
+                match self.topo.links[in_link.idx()].class {
+                    LinkClass::LeafUp { vspine, .. } => {
+                        if !self.topo.is_three_level() {
+                            // 2-level: down the same plane, deterministic.
+                            let down = self.topo.downlink(vspine, dst_leaf);
+                            return self.links[down.idx()].admin_up.then_some(down);
+                        }
+                        let my_pod = g / self.topo.spec.spines;
+                        let dst_pod = self.topo.pod_of_leaf(dst_leaf);
+                        if dst_pod == my_pod {
+                            // Intra-pod: straight down to the leaf.
+                            let down = self.topo.downlink(vspine, dst_leaf);
+                            self.links[down.idx()].admin_up.then_some(down)
+                        } else {
+                            // Cross-pod: second spray stage over the core
+                            // group, mirroring the leaf's logic.
+                            self.spray_among(sw, SprayTable::Core(dst_pod), pkt)
+                        }
+                    }
+                    LinkClass::CoreDown { .. } => {
+                        // Final descent: agg g (within-pod index) → leaf.
+                        let a = g % self.topo.spec.spines;
+                        let down = self.topo.downlink(a, dst_leaf);
+                        self.links[down.idx()].admin_up.then_some(down)
+                    }
+                    c => unreachable!("agg ingress must be LeafUp/CoreDown, got {c:?}"),
+                }
+            }
+            SwitchKind::Core(c) => {
+                // Deterministic: one downlink per pod.
+                let dst_pod = self.topo.pod_of_leaf(self.topo.leaf_of(pkt.dst));
+                let down = self.topo.core_downlink(c, dst_pod);
+                self.links[down.idx()].admin_up.then_some(down)
+            }
+        }
+    }
+
+    /// Enqueue `pkt` on `out_link`'s egress queue, charge PFC budget, and
+    /// kick the transmitter.
+    fn enqueue(&mut self, out_link: LinkId, pkt: Packet) {
+        if !self.links[out_link.idx()].admin_up {
+            self.stats.drop(DropCause::AdminDown);
+            return;
+        }
+        let wire = self.wire_size(&pkt);
+        let q = pkt.prio.idx();
+        {
+            let l = &mut self.links[out_link.idx()];
+            l.queues[q].push_back(pkt);
+            l.queued_bytes += wire;
+            if l.queued_bytes > self.stats.max_queue_bytes {
+                self.stats.max_queue_bytes = l.queued_bytes;
+            }
+        }
+        // PFC charge at the owning switch.
+        if self.cfg.pfc.enabled {
+            if let Some(in_link) = pkt.ingress {
+                if let NodeId::Switch(sw) = self.topo.links[out_link.idx()].src {
+                    let port = self.topo.links[in_link.idx()].dst_port as usize;
+                    let s = &mut self.switches[sw.idx()];
+                    s.ingress_usage[port][q] += wire;
+                    if s.ingress_usage[port][q] >= self.cfg.pfc.xoff_bytes && !s.pause_sent[port][q]
+                    {
+                        s.pause_sent[port][q] = true;
+                        self.stats.pfc_pauses += 1;
+                        let delay = self.topo.links[self.topo.peer[in_link.idx()].idx()].latency;
+                        self.heap.push(
+                            self.now + delay,
+                            EventKind::Pfc {
+                                link: in_link,
+                                prio: q as u8,
+                                pause: true,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.try_start_tx(out_link);
+    }
+
+    // ------------------------------------------------------------------
+    // Host / transport
+    // ------------------------------------------------------------------
+
+    fn host_receive(&mut self, h: HostId, pkt: Packet) {
+        match pkt.kind {
+            PacketKind::Data { flow, seq } => self.receive_data(h, flow, seq, pkt.size),
+            PacketKind::Ack { flow, block } => self.receive_ack(h, flow, block),
+        }
+    }
+
+    fn receive_data(&mut self, h: HostId, flow: FlowId, seq: u32, size: u32) {
+        debug_assert_eq!(self.flows[flow as usize].dst, h, "data at wrong host");
+        self.stats.data_pkts_delivered += 1;
+        let (newly, completed) = {
+            let f = &mut self.flows[flow as usize];
+            let newly = f.rcvd.set(seq);
+            let completed = newly && f.rcvd.full();
+            if completed {
+                f.completed_at = Some(self.now);
+            }
+            (newly, completed)
+        };
+        if newly {
+            self.stats.bytes_delivered += size as u64;
+        } else {
+            self.stats.dup_pkts_delivered += 1;
+        }
+        if completed {
+            self.stats.flows_completed += 1;
+        }
+        // Always (re-)acknowledge, even duplicates — the sender may be
+        // retransmitting because our earlier ACK was lost.
+        self.accumulate_ack(flow, seq);
+        if completed {
+            self.with_app(|app, sim| app.on_message_complete(sim, flow));
+        }
+    }
+
+    fn accumulate_ack(&mut self, flow: FlowId, seq: u32) {
+        let coalesce = self.cfg.ack_coalesce;
+        let mut flush_block: Option<AckBlock> = None;
+        let mut schedule_flush = false;
+        {
+            let f = &mut self.flows[flow as usize];
+            // Cumulative watermark: lowest sequence not yet received.
+            let cum = f.rcvd.first_clear().unwrap_or(f.npkts);
+            match &mut f.pending_ack {
+                None => {
+                    let mut a = AckAccum::new(seq);
+                    if coalesce <= 1 {
+                        flush_block = Some(a.block(cum));
+                        f.pending_ack = None;
+                    } else {
+                        a.flush_scheduled = true;
+                        f.pending_ack = Some(a);
+                        schedule_flush = true;
+                    }
+                }
+                Some(a) => {
+                    if !a.add(seq) {
+                        // Window overflow: emit the old block, restart.
+                        flush_block = Some(a.block(cum));
+                        let had_timer = a.flush_scheduled;
+                        let mut na = AckAccum::new(seq);
+                        na.flush_scheduled = had_timer;
+                        *a = na;
+                    } else if a.count() >= coalesce {
+                        flush_block = Some(a.block(cum));
+                        f.pending_ack = None;
+                    }
+                }
+            }
+        }
+        if let Some(block) = flush_block {
+            self.send_ack(flow, block);
+        }
+        if schedule_flush {
+            self.heap.push(
+                self.now + self.cfg.ack_flush_delay,
+                EventKind::AckFlush { flow },
+            );
+        }
+    }
+
+    fn handle_ack_flush(&mut self, flow: FlowId) {
+        let block = {
+            let f = &mut self.flows[flow as usize];
+            let cum = f.rcvd.first_clear().unwrap_or(f.npkts);
+            f.pending_ack.take().map(|a| a.block(cum))
+        };
+        if let Some(b) = block {
+            self.send_ack(flow, b);
+        }
+    }
+
+    fn send_ack(&mut self, flow: FlowId, block: AckBlock) {
+        let f = &self.flows[flow as usize];
+        let pkt = Packet {
+            kind: PacketKind::Ack { flow, block },
+            src: f.dst,
+            dst: f.src,
+            size: self.cfg.ack_size,
+            prio: Priority::CONTROL,
+            tag: None,
+            src_leaf: self.hosts[f.dst.idx()].leaf as u16,
+            ingress: None,
+        };
+        self.stats.acks_sent += 1;
+        let up = self.topo.host_up[f.dst.idx()];
+        self.enqueue(up, pkt);
+    }
+
+    fn receive_ack(&mut self, h: HostId, flow: FlowId, block: AckBlock) {
+        debug_assert_eq!(self.flows[flow as usize].src, h, "ack at wrong host");
+        let newly_done = {
+            let f = &mut self.flows[flow as usize];
+            let was_done = f.fully_acked();
+            // Cumulative watermark first (heals any previously lost ACKs)…
+            let cum = block.cum.min(f.npkts);
+            while f.cum_acked < cum {
+                f.acked.set(f.cum_acked);
+                f.cum_acked += 1;
+            }
+            // …then the selective block.
+            for seq in block.seqs() {
+                if seq < f.npkts {
+                    f.acked.set(seq);
+                }
+            }
+            !was_done && f.fully_acked()
+        };
+        if newly_done {
+            self.with_app(|app, sim| app.on_flow_acked(sim, flow));
+        }
+    }
+
+    fn handle_rto(&mut self, flow: FlowId, seq: u32, attempt: u32) {
+        {
+            let f = &self.flows[flow as usize];
+            if f.failed || f.acked.get(seq) {
+                return;
+            }
+        }
+        if attempt >= self.cfg.rto_max_attempts {
+            self.flows[flow as usize].failed = true;
+            self.stats.flows_failed += 1;
+            self.trace.push(self.now, TraceEvent::FlowFailed { flow });
+            self.with_app(|app, sim| app.on_flow_failed(sim, flow));
+            return;
+        }
+        let (src, pkt) = {
+            let f = &self.flows[flow as usize];
+            let pkt = Packet {
+                kind: PacketKind::Data { flow, seq },
+                src: f.src,
+                dst: f.dst,
+                size: f.seg_size(seq),
+                prio: f.prio,
+                tag: f.tag,
+                src_leaf: self.hosts[f.src.idx()].leaf as u16,
+                ingress: None,
+            };
+            (f.src, pkt)
+        };
+        self.stats.retransmits += 1;
+        self.flows[flow as usize].retx += 1;
+        self.enqueue(self.topo.host_up[src.idx()], pkt);
+        let exp = (attempt + 1).min(self.cfg.rto_backoff_cap);
+        let backoff = self.cfg.rto.mul_f64(self.cfg.rto_backoff.powi(exp as i32));
+        self.heap.push(
+            self.now + backoff,
+            EventKind::Rto {
+                flow,
+                seq,
+                attempt: attempt + 1,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection helpers
+    // ------------------------------------------------------------------
+
+    /// True if every posted flow has been fully received.
+    pub fn all_flows_complete(&self) -> bool {
+        self.flows.iter().all(|f| f.is_complete())
+    }
+
+    /// Pending event count (0 = idle).
+    pub fn pending_events(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::FatTreeSpec;
+
+    fn small_topo() -> Topology {
+        Topology::fat_tree(FatTreeSpec {
+            leaves: 4,
+            spines: 2,
+            hosts_per_leaf: 1,
+            ..Default::default()
+        })
+    }
+
+    fn sim(seed: u64) -> Simulator {
+        Simulator::new(small_topo(), SimConfig::default(), seed)
+    }
+
+    #[test]
+    fn single_message_delivers() {
+        let mut s = sim(1);
+        let f = s.post_message(HostId(0), HostId(2), 100_000, None, Priority::MEASURED);
+        let r = s.run();
+        assert_eq!(r.reason, RunReason::Drained);
+        assert!(s.flows[f as usize].is_complete());
+        assert!(s.flows[f as usize].fully_acked());
+        assert_eq!(s.stats.bytes_delivered, 100_000);
+        assert_eq!(s.stats.flows_completed, 1);
+        assert_eq!(s.stats.flows_failed, 0);
+        assert_eq!(s.stats.total_drops(), 0);
+    }
+
+    #[test]
+    fn local_traffic_stays_under_leaf() {
+        // Two hosts under the same leaf: no spine link should carry data.
+        let topo = Topology::fat_tree(FatTreeSpec {
+            leaves: 2,
+            spines: 2,
+            hosts_per_leaf: 2,
+            ..Default::default()
+        });
+        let mut s = Simulator::new(topo, SimConfig::default(), 3);
+        s.post_message(HostId(0), HostId(1), 50_000, None, Priority::MEASURED);
+        s.run();
+        assert!(s.all_flows_complete());
+        for v in 0..s.topo.n_vspines() as u32 {
+            for l in 0..s.topo.n_leaves() as u32 {
+                assert_eq!(s.link(s.topo.downlink(v, l)).txed_pkts, 0);
+                assert_eq!(s.link(s.topo.uplink(l, v)).txed_pkts, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn remote_traffic_sprays_across_all_spines() {
+        let mut s = sim(7);
+        s.post_message(HostId(0), HostId(3), 4_000_000, None, Priority::MEASURED);
+        s.run();
+        assert!(s.all_flows_complete());
+        // ~977 packets over 2 vspines: both should carry a solid share.
+        for v in 0..2u32 {
+            let up = s.link(s.topo.uplink(0, v)).txed_pkts;
+            assert!(up > 300, "vspine {v} carried only {up}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed| {
+            let mut s = sim(seed);
+            s.post_message(HostId(1), HostId(2), 1_000_000, None, Priority::MEASURED);
+            s.run();
+            (
+                s.now().as_ns(),
+                s.stats.events,
+                s.link(s.topo.uplink(1, 0)).txed_pkts,
+            )
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).2, 0);
+    }
+
+    #[test]
+    fn silent_drop_recovers_via_retransmit() {
+        let mut s = sim(11);
+        // 10% drop on one spine->leaf downlink toward leaf 3.
+        let bad = s.topo.downlink(0, 3);
+        s.apply_fault_now(bad, FaultAction::Set(FaultKind::SilentDrop { rate: 0.10 }), false);
+        let f = s.post_message(HostId(0), HostId(3), 2_000_000, None, Priority::MEASURED);
+        let r = s.run();
+        assert_eq!(r.reason, RunReason::Drained);
+        assert!(s.flows[f as usize].is_complete(), "flow must recover");
+        assert!(s.stats.silent_drops() > 0, "fault must have bitten");
+        assert!(s.stats.retransmits >= s.stats.silent_drops() / 2);
+    }
+
+    #[test]
+    fn total_blackhole_still_completes_by_respraying() {
+        let mut s = sim(13);
+        let bad = s.topo.downlink(1, 2);
+        s.apply_fault_now(bad, FaultAction::Set(FaultKind::SilentBlackhole), false);
+        let f = s.post_message(HostId(0), HostId(2), 500_000, None, Priority::MEASURED);
+        s.run();
+        assert!(s.flows[f as usize].is_complete());
+        assert!(s.stats.silent_drops() > 0);
+    }
+
+    #[test]
+    fn admin_down_removes_from_spraying() {
+        let mut s = sim(17);
+        let up = s.topo.uplink(0, 0);
+        s.apply_fault_now(up, FaultAction::Set(FaultKind::AdminDown), true);
+        assert_eq!(s.valid_uplinks(0, 3).len(), 1);
+        s.post_message(HostId(0), HostId(3), 1_000_000, None, Priority::MEASURED);
+        s.run();
+        assert!(s.all_flows_complete());
+        assert_eq!(s.link(s.topo.uplink(0, 0)).txed_pkts, 0);
+        // Everything went over vspine 1.
+        assert!(s.link(s.topo.uplink(0, 1)).txed_pkts > 200);
+    }
+
+    #[test]
+    fn remote_admin_down_excludes_spine_for_that_dst_only() {
+        let mut s = sim(19);
+        // Down the spine0 -> leaf3 downlink (both directions of that cable).
+        let down = s.topo.downlink(0, 3);
+        s.apply_fault_now(down, FaultAction::Set(FaultKind::AdminDown), true);
+        // leaf0 -> leaf3 must avoid vspine 0...
+        assert_eq!(s.valid_uplinks(0, 3), &[s.topo.uplink(0, 1)]);
+        // ...but leaf0 -> leaf2 still uses both.
+        assert_eq!(s.valid_uplinks(0, 2).len(), 2);
+    }
+
+    #[test]
+    fn fault_heals_and_routing_returns() {
+        let mut s = sim(23);
+        let up = s.topo.uplink(2, 1);
+        s.apply_fault_now(up, FaultAction::Set(FaultKind::AdminDown), true);
+        assert_eq!(s.valid_uplinks(2, 0).len(), 1);
+        s.apply_fault_now(up, FaultAction::Clear, true);
+        assert_eq!(s.valid_uplinks(2, 0).len(), 2);
+    }
+
+    #[test]
+    fn dst_blackhole_only_affects_target_leaf() {
+        let mut s = sim(29);
+        // Blackhole packets to leaf 3 on leaf0's uplink to vspine 0.
+        let up = s.topo.uplink(0, 0);
+        s.apply_fault_now(
+            up,
+            FaultAction::Set(FaultKind::DstBlackhole { dst_leaf: 3 }),
+            false,
+        );
+        let fa = s.post_message(HostId(0), HostId(3), 400_000, None, Priority::MEASURED);
+        let fb = s.post_message(HostId(0), HostId(2), 400_000, None, Priority::MEASURED);
+        s.run();
+        assert!(s.flows[fa as usize].is_complete());
+        assert!(s.flows[fb as usize].is_complete());
+        // Flow to leaf 3 suffered; flow to leaf 2 did not lose anything.
+        assert!(s.stats.silent_drops() > 0);
+    }
+
+    #[test]
+    fn counters_only_count_tagged_data() {
+        let mut s = sim(31);
+        let tag = CollectiveTag { job: 9, iter: 0 };
+        s.post_message(HostId(0), HostId(3), 300_000, Some(tag), Priority::MEASURED);
+        s.post_message(HostId(1), HostId(2), 300_000, None, Priority::BACKGROUND);
+        s.run();
+        let c = s.counters.get(9, 0).expect("tagged iteration recorded");
+        // All tagged bytes landed at leaf 3 (the destination's leaf).
+        let leaf3: u64 = c.leaf_ports(3).iter().sum();
+        assert_eq!(leaf3, 300_000);
+        // No other leaf counted tagged traffic.
+        for l in [0u32, 1, 2] {
+            assert_eq!(c.leaf_ports(l).iter().sum::<u64>(), 0, "leaf {l}");
+        }
+        // Untagged background flow produced no counter entries at all.
+        assert_eq!(s.counters.keys(), vec![(9, 0)]);
+        // Per-source attribution: everything from leaf 0.
+        assert_eq!(
+            c.port_src_bytes(3, 0, 0) + c.port_src_bytes(3, 1, 0),
+            300_000
+        );
+    }
+
+    #[test]
+    fn wake_events_reach_app() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        struct Waker {
+            hits: Rc<Cell<u32>>,
+        }
+        impl Application for Waker {
+            fn on_start(&mut self, sim: &mut Simulator) {
+                sim.schedule_wake(SimTime::from_ns(100), HostId(0), 7);
+                sim.schedule_wake(SimTime::from_ns(200), HostId(1), 8);
+            }
+            fn on_wake(&mut self, _sim: &mut Simulator, _host: HostId, token: u64) {
+                self.hits.set(self.hits.get() + token as u32);
+            }
+        }
+        let hits = Rc::new(Cell::new(0));
+        let mut s = sim(37);
+        s.set_app(Box::new(Waker { hits: hits.clone() }));
+        s.run();
+        assert_eq!(hits.get(), 15);
+        assert_eq!(s.now().as_ns(), 200);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut s = sim(41);
+        s.post_message(HostId(0), HostId(3), 10_000_000, None, Priority::MEASURED);
+        let r = s.run_until(SimTime::from_us(5));
+        assert_eq!(r.reason, RunReason::TimeLimit);
+        assert_eq!(s.now(), SimTime::from_us(5));
+        assert!(!s.all_flows_complete());
+        let r2 = s.run();
+        assert_eq!(r2.reason, RunReason::Drained);
+        assert!(s.all_flows_complete());
+    }
+
+    #[test]
+    fn event_limit_stops_runaway() {
+        let mut s = sim(43);
+        s.cfg.max_events = 50;
+        s.post_message(HostId(0), HostId(3), 10_000_000, None, Priority::MEASURED);
+        let r = s.run();
+        assert_eq!(r.reason, RunReason::EventLimit);
+    }
+
+    #[test]
+    fn scheduled_fault_fires_at_time() {
+        let mut s = sim(47);
+        let bad = s.topo.downlink(0, 3);
+        s.schedule_fault(FaultEvent::set(
+            SimTime::from_us(10),
+            bad,
+            FaultKind::SilentBlackhole,
+        ));
+        s.schedule_fault(FaultEvent::clear(SimTime::from_us(20), bad));
+        s.run();
+        assert!(s.link(bad).fault.is_none());
+        assert!(s.link(bad).admin_up);
+        // Trace captured both transitions.
+        let n = s
+            .trace
+            .records()
+            .filter(|(_, e)| matches!(e, TraceEvent::FaultSet { .. } | TraceEvent::FaultCleared { .. }))
+            .count();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn acks_are_coalesced() {
+        let mut s = sim(53);
+        s.post_message(HostId(0), HostId(1), 4_000_000, None, Priority::MEASURED);
+        s.run();
+        // ~977 data packets; with 8-way coalescing ACK count should sit well
+        // below data count.
+        assert!(s.stats.acks_sent * 4 < s.stats.data_pkts_sent,
+            "acks={} data={}", s.stats.acks_sent, s.stats.data_pkts_sent);
+    }
+}

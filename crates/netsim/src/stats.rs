@@ -1,0 +1,108 @@
+//! Run-wide statistics and drop accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a packet was dropped.
+#[derive(Copy, Clone, PartialEq, Eq, Serialize, Deserialize, Debug)]
+pub enum DropCause {
+    /// Sampled by a silent fault on the wire (the FlowPulse signal).
+    SilentFault,
+    /// Link was administratively downed while packets were queued on it.
+    AdminDown,
+    /// No valid route (all candidate uplinks admin-down).
+    NoRoute,
+}
+
+impl DropCause {
+    /// Number of causes (array sizing).
+    pub const COUNT: usize = 3;
+
+    /// Dense index.
+    pub fn idx(self) -> usize {
+        match self {
+            DropCause::SilentFault => 0,
+            DropCause::AdminDown => 1,
+            DropCause::NoRoute => 2,
+        }
+    }
+}
+
+/// Aggregate counters for one simulation run.
+#[derive(Clone, Default, Serialize, Deserialize, Debug)]
+pub struct Stats {
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Packets that completed serialization on some link.
+    pub pkts_txed: u64,
+    /// Data packets injected by hosts (first transmissions only).
+    pub data_pkts_sent: u64,
+    /// ACK packets injected.
+    pub acks_sent: u64,
+    /// Retransmitted data packets enqueued.
+    pub retransmits: u64,
+    /// Data packets delivered to their destination host (including dups).
+    pub data_pkts_delivered: u64,
+    /// Duplicate data packets delivered (already-received seq).
+    pub dup_pkts_delivered: u64,
+    /// Payload bytes delivered to destination hosts (unique segments).
+    pub bytes_delivered: u64,
+    /// Flows whose receiver saw every segment.
+    pub flows_completed: u64,
+    /// Flows abandoned after `rto_max_attempts` on some segment.
+    pub flows_failed: u64,
+    /// Drops by cause.
+    pub drops: [u64; DropCause::COUNT],
+    /// PFC pause frames sent.
+    pub pfc_pauses: u64,
+    /// PFC resume frames sent.
+    pub pfc_resumes: u64,
+    /// High-water mark of any single egress queue, in bytes.
+    pub max_queue_bytes: u64,
+}
+
+impl Stats {
+    /// Record a drop.
+    pub fn drop(&mut self, cause: DropCause) {
+        self.drops[cause.idx()] += 1;
+    }
+
+    /// Total drops across causes.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+
+    /// Drops attributed to silent faults.
+    pub fn silent_drops(&self) -> u64 {
+        self.drops[DropCause::SilentFault.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_accounting() {
+        let mut s = Stats::default();
+        s.drop(DropCause::SilentFault);
+        s.drop(DropCause::SilentFault);
+        s.drop(DropCause::NoRoute);
+        assert_eq!(s.silent_drops(), 2);
+        assert_eq!(s.total_drops(), 3);
+        assert_eq!(s.drops[DropCause::AdminDown.idx()], 0);
+    }
+
+    #[test]
+    fn cause_indices_are_dense_and_distinct() {
+        let mut seen = [false; DropCause::COUNT];
+        for c in [
+            DropCause::SilentFault,
+            DropCause::AdminDown,
+            DropCause::NoRoute,
+        ] {
+            assert!(!seen[c.idx()]);
+            seen[c.idx()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

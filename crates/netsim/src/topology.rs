@@ -1,0 +1,874 @@
+//! Fat-tree (2-level Clos) topology construction.
+//!
+//! The paper's fabric (§2, §6): a non-blocking two-level fat tree. Leaves
+//! connect down to hosts and up to every spine; spraying happens on the way
+//! up, downstream paths are deterministic. Parallel leaf–spine links are
+//! supported and treated as independent *virtual spines* (paper §7 "Parallel
+//! Links"): a packet that goes up on plane `p` comes down on plane `p`, so
+//! each plane behaves as its own spine for both load-balancing and
+//! monitoring purposes.
+//!
+//! Port numbering (used by PFC accounting and FlowPulse counters):
+//! * host: single port `0`;
+//! * leaf `l`: ports `0..H` are hosts, ports `H..H+V` are virtual spines
+//!   (`V = spines × parallel`);
+//! * spine `s` plane `p`: port per leaf = `leaf`.
+
+use crate::ids::{HostId, LinkId, NodeId, SwitchId};
+use crate::time::SimDuration;
+use crate::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of one class of link.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct LinkSpec {
+    /// Line rate.
+    pub bandwidth: Bandwidth,
+    /// One-way propagation + fixed pipeline latency.
+    pub latency: SimDuration,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec {
+            bandwidth: Bandwidth::from_gbps(400),
+            latency: SimDuration::from_ns(150),
+        }
+    }
+}
+
+/// Parameters of a 2-level fat tree.
+#[derive(Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct FatTreeSpec {
+    /// Number of leaf switches.
+    pub leaves: u32,
+    /// Number of physical spine switches.
+    pub spines: u32,
+    /// Hosts attached to each leaf.
+    pub hosts_per_leaf: u32,
+    /// Parallel links between each leaf–spine pair (≥ 1).
+    pub parallel_links: u32,
+    /// Leaf–spine link parameters.
+    pub fabric_link: LinkSpec,
+    /// Host–leaf link parameters.
+    pub host_link: LinkSpec,
+}
+
+impl Default for FatTreeSpec {
+    /// The paper's default evaluation fabric: 32 leaves × 16 spines, one
+    /// host per leaf (§6 "each leaf is connected to a single end-host").
+    fn default() -> Self {
+        FatTreeSpec {
+            leaves: 32,
+            spines: 16,
+            hosts_per_leaf: 1,
+            parallel_links: 1,
+            fabric_link: LinkSpec::default(),
+            host_link: LinkSpec::default(),
+        }
+    }
+}
+
+impl FatTreeSpec {
+    /// A full non-blocking fat tree built from switches of the given radix:
+    /// `radix` leaves, `radix/2` spines (paper §6 "varying switch radix").
+    pub fn from_radix(radix: u32) -> Self {
+        assert!(radix >= 2 && radix % 2 == 0, "radix must be even, ≥ 2");
+        FatTreeSpec {
+            leaves: radix,
+            spines: radix / 2,
+            ..Default::default()
+        }
+    }
+
+    /// Total hosts.
+    pub fn n_hosts(&self) -> u32 {
+        self.leaves * self.hosts_per_leaf
+    }
+
+    /// Virtual spines (= uplink count per leaf).
+    pub fn n_vspines(&self) -> u32 {
+        self.spines * self.parallel_links
+    }
+
+    /// True if the fabric is non-blocking for its hosts (uplink capacity per
+    /// leaf ≥ host capacity per leaf, assuming equal line rates).
+    pub fn is_non_blocking(&self) -> bool {
+        self.n_vspines() >= self.hosts_per_leaf
+    }
+
+    /// Basic sanity checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.leaves == 0 || self.spines == 0 || self.hosts_per_leaf == 0 {
+            return Err("leaves, spines and hosts_per_leaf must be positive".into());
+        }
+        if self.parallel_links == 0 {
+            return Err("parallel_links must be ≥ 1".into());
+        }
+        if self.leaves > u16::MAX as u32 {
+            return Err("too many leaves (u16 leaf indices)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Role of a directed link within the topology.
+#[derive(Copy, Clone, PartialEq, Eq, Serialize, Deserialize, Debug)]
+pub enum LinkClass {
+    /// Host → leaf (the host NIC egress).
+    HostUp {
+        /// Source host.
+        host: u32,
+        /// Destination leaf.
+        leaf: u32,
+    },
+    /// Leaf → host.
+    HostDown {
+        /// Source leaf.
+        leaf: u32,
+        /// Destination host.
+        host: u32,
+    },
+    /// Leaf → spine plane (upstream, sprayed). In a 3-level Clos the
+    /// "spine" is the pod-local aggregation switch.
+    LeafUp {
+        /// Source leaf (global index).
+        leaf: u32,
+        /// Destination virtual spine (`spine * parallel + plane`; in a
+        /// 3-level Clos the within-pod aggregation index).
+        vspine: u32,
+    },
+    /// Spine plane → leaf (downstream; these are the ports FlowPulse
+    /// monitors at the receiving leaf).
+    SpineDown {
+        /// Source virtual spine (within-pod index for 3-level).
+        vspine: u32,
+        /// Destination leaf (global index).
+        leaf: u32,
+    },
+    /// Aggregation → core (3-level only; upstream, sprayed by the agg
+    /// over its core group).
+    AggUp {
+        /// Source aggregation switch (global index).
+        agg: u32,
+        /// Core index *within the agg's group* (`0..cores_per_group`).
+        core_k: u32,
+    },
+    /// Core → aggregation (3-level only; downstream, deterministic; these
+    /// are the ports FlowPulse monitors at the receiving aggregation
+    /// switch — paper §7 "deploying FlowPulse at both leaf and spine
+    /// levels").
+    CoreDown {
+        /// Source core (global index).
+        core: u32,
+        /// Destination aggregation switch (global index).
+        agg: u32,
+    },
+}
+
+/// A directed link.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct LinkDef {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Port index at `src`.
+    pub src_port: u16,
+    /// Port index at `dst`.
+    pub dst_port: u16,
+    /// Line rate.
+    pub bandwidth: Bandwidth,
+    /// One-way latency.
+    pub latency: SimDuration,
+    /// Topological role.
+    pub class: LinkClass,
+}
+
+/// Which role a switch plays.
+#[derive(Copy, Clone, PartialEq, Eq, Serialize, Deserialize, Debug)]
+pub enum SwitchKind {
+    /// Leaf `idx` (global).
+    Leaf(u32),
+    /// Physical spine `idx` (2-level), or aggregation switch `idx`
+    /// (3-level, global: `pod * aggs_per_pod + within_pod_idx`).
+    Spine(u32),
+    /// Core switch `idx` (3-level only, global: `group * cores_per_group
+    /// + within_group_idx`).
+    Core(u32),
+}
+
+/// Parameters of a 3-level folded Clos (fat tree with pods — paper §7
+/// "Network Topology": FlowPulse deployed at both leaf and spine levels).
+///
+/// Structure: `pods` pods, each with `leaves_per_pod` leaves fully meshed
+/// to `aggs_per_pod` aggregation switches. Aggregation switch index `a` of
+/// every pod connects to core group `a`, which holds `cores_per_group`
+/// cores; each core in group `a` connects to agg `a` of every pod. Upward
+/// paths spray twice (leaf→agg, agg→core); downward paths are
+/// deterministic (core→agg→leaf), preserving the property FlowPulse's
+/// monitoring relies on.
+#[derive(Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct Clos3Spec {
+    /// Number of pods.
+    pub pods: u32,
+    /// Leaves per pod.
+    pub leaves_per_pod: u32,
+    /// Aggregation switches per pod (= leaf uplinks = monitored leaf
+    /// ports).
+    pub aggs_per_pod: u32,
+    /// Cores per aggregation group (= agg uplinks = monitored agg ports).
+    pub cores_per_group: u32,
+    /// Hosts per leaf.
+    pub hosts_per_leaf: u32,
+    /// Fabric link parameters (leaf–agg and agg–core).
+    pub fabric_link: LinkSpec,
+    /// Host link parameters.
+    pub host_link: LinkSpec,
+}
+
+impl Default for Clos3Spec {
+    fn default() -> Self {
+        Clos3Spec {
+            pods: 4,
+            leaves_per_pod: 4,
+            aggs_per_pod: 4,
+            cores_per_group: 2,
+            hosts_per_leaf: 1,
+            fabric_link: LinkSpec::default(),
+            host_link: LinkSpec::default(),
+        }
+    }
+}
+
+impl Clos3Spec {
+    /// Basic sanity checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pods == 0
+            || self.leaves_per_pod == 0
+            || self.aggs_per_pod == 0
+            || self.cores_per_group == 0
+            || self.hosts_per_leaf == 0
+        {
+            return Err("all Clos3 dimensions must be positive".into());
+        }
+        if self.pods * self.leaves_per_pod > u16::MAX as u32 {
+            return Err("too many leaves (u16 leaf indices)".into());
+        }
+        Ok(())
+    }
+
+    /// Total hosts.
+    pub fn n_hosts(&self) -> u32 {
+        self.pods * self.leaves_per_pod * self.hosts_per_leaf
+    }
+}
+
+/// A fully-built topology: dense link tables plus lookup indices.
+///
+/// Switch ids: leaves are `0..n_leaves`, spines/aggs follow, then (3-level
+/// only) cores.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// The generating spec (for 3-level topologies this is a synthesized
+    /// summary: `leaves` = total leaves, `spines` = aggs per pod).
+    pub spec: FatTreeSpec,
+    /// Number of pods (1 for a 2-level fat tree).
+    pub pods: u32,
+    /// Cores per aggregation group (0 for a 2-level fat tree).
+    pub cores_per_group: u32,
+    /// All directed links.
+    pub links: Vec<LinkDef>,
+    /// Reverse direction of each directed link (same physical cable).
+    pub peer: Vec<LinkId>,
+    /// Leaf index of each host.
+    pub host_leaf: Vec<u32>,
+    /// Host → its uplink (host→leaf) directed link.
+    pub host_up: Vec<LinkId>,
+    /// Host → the leaf→host downlink.
+    pub host_down: Vec<LinkId>,
+    /// `leaf_up[leaf][vspine]` = leaf→spine-plane (or pod-agg) uplink.
+    pub leaf_up: Vec<Vec<LinkId>>,
+    /// `spine_down[vspine][leaf]` = spine-plane (or pod-agg)→leaf downlink.
+    pub spine_down: Vec<Vec<LinkId>>,
+    /// 3-level only: `agg_up[global_agg][k]` = agg→core uplink.
+    pub agg_up: Vec<Vec<LinkId>>,
+    /// 3-level only: `core_down[global_core][pod]` = core→agg downlink.
+    pub core_down: Vec<Vec<LinkId>>,
+    /// Role of each switch id.
+    pub switch_kind: Vec<SwitchKind>,
+    /// Ports per switch id (for PFC tables).
+    pub switch_ports: Vec<u32>,
+}
+
+impl Topology {
+    /// Build a 2-level fat tree from `spec`. Panics on invalid specs (use
+    /// [`FatTreeSpec::validate`] to pre-check untrusted input).
+    pub fn fat_tree(spec: FatTreeSpec) -> Topology {
+        spec.validate().expect("invalid FatTreeSpec");
+        let nl = spec.leaves as usize;
+        let ns = spec.spines as usize;
+        let np = spec.parallel_links as usize;
+        let nh = spec.hosts_per_leaf as usize;
+        let nv = ns * np;
+
+        let mut links: Vec<LinkDef> = Vec::with_capacity(2 * (nl * nh + nl * nv));
+        let mut peer_pairs: Vec<(LinkId, LinkId)> = Vec::new();
+
+        let mut host_leaf = vec![0u32; nl * nh];
+        let mut host_up = vec![LinkId(0); nl * nh];
+        let mut host_down = vec![LinkId(0); nl * nh];
+        let mut leaf_up = vec![vec![LinkId(0); nv]; nl];
+        let mut spine_down = vec![vec![LinkId(0); nl]; nv];
+
+        let leaf_sw = |l: usize| NodeId::Switch(SwitchId(l as u32));
+        let spine_sw = |s: usize| NodeId::Switch(SwitchId((nl + s) as u32));
+
+        // Host links.
+        for l in 0..nl {
+            for h in 0..nh {
+                let host = l * nh + h;
+                host_leaf[host] = l as u32;
+                let up = LinkId(links.len() as u32);
+                links.push(LinkDef {
+                    src: NodeId::Host(HostId(host as u32)),
+                    dst: leaf_sw(l),
+                    src_port: 0,
+                    dst_port: h as u16,
+                    bandwidth: spec.host_link.bandwidth,
+                    latency: spec.host_link.latency,
+                    class: LinkClass::HostUp {
+                        host: host as u32,
+                        leaf: l as u32,
+                    },
+                });
+                let down = LinkId(links.len() as u32);
+                links.push(LinkDef {
+                    src: leaf_sw(l),
+                    dst: NodeId::Host(HostId(host as u32)),
+                    src_port: h as u16,
+                    dst_port: 0,
+                    bandwidth: spec.host_link.bandwidth,
+                    latency: spec.host_link.latency,
+                    class: LinkClass::HostDown {
+                        leaf: l as u32,
+                        host: host as u32,
+                    },
+                });
+                host_up[host] = up;
+                host_down[host] = down;
+                peer_pairs.push((up, down));
+            }
+        }
+
+        // Fabric links: one pair per (leaf, spine, plane).
+        for l in 0..nl {
+            for s in 0..ns {
+                for p in 0..np {
+                    let v = s * np + p;
+                    let leaf_port = (nh + v) as u16;
+                    // Spine port numbering: plane-local, one port per leaf.
+                    let spine_port = l as u16;
+                    let up = LinkId(links.len() as u32);
+                    links.push(LinkDef {
+                        src: leaf_sw(l),
+                        dst: spine_sw(s),
+                        src_port: leaf_port,
+                        dst_port: spine_port,
+                        bandwidth: spec.fabric_link.bandwidth,
+                        latency: spec.fabric_link.latency,
+                        class: LinkClass::LeafUp {
+                            leaf: l as u32,
+                            vspine: v as u32,
+                        },
+                    });
+                    let down = LinkId(links.len() as u32);
+                    links.push(LinkDef {
+                        src: spine_sw(s),
+                        dst: leaf_sw(l),
+                        src_port: spine_port,
+                        dst_port: leaf_port,
+                        bandwidth: spec.fabric_link.bandwidth,
+                        latency: spec.fabric_link.latency,
+                        class: LinkClass::SpineDown {
+                            vspine: v as u32,
+                            leaf: l as u32,
+                        },
+                    });
+                    leaf_up[l][v] = up;
+                    spine_down[v][l] = down;
+                    peer_pairs.push((up, down));
+                }
+            }
+        }
+
+        let mut peer = vec![LinkId(0); links.len()];
+        for (a, b) in peer_pairs {
+            peer[a.idx()] = b;
+            peer[b.idx()] = a;
+        }
+
+        let mut switch_kind = Vec::with_capacity(nl + ns);
+        let mut switch_ports = Vec::with_capacity(nl + ns);
+        for l in 0..nl {
+            switch_kind.push(SwitchKind::Leaf(l as u32));
+            switch_ports.push((nh + nv) as u32);
+        }
+        for s in 0..ns {
+            switch_kind.push(SwitchKind::Spine(s as u32));
+            // Spine ports: per plane we numbered ports 0..nl, but a physical
+            // spine owns `np` planes; give it the max port index it uses.
+            // Plane-local numbering means different planes reuse port
+            // numbers; PFC accounting is per directed ingress link anyway,
+            // keyed by `dst_port` *within the plane's port space*, so we
+            // reserve nl ports per plane: port = plane * nl + leaf.
+            switch_ports.push((np * nl) as u32);
+        }
+
+        // Fix spine dst_port to be plane-global so PFC tables don't collide
+        // across planes of the same physical spine.
+        for link in links.iter_mut() {
+            if let LinkClass::LeafUp { leaf, vspine } = link.class {
+                let plane = vspine as usize % np;
+                link.dst_port = (plane * nl + leaf as usize) as u16;
+            }
+            if let LinkClass::SpineDown { vspine, leaf } = link.class {
+                let plane = vspine as usize % np;
+                link.src_port = (plane * nl + leaf as usize) as u16;
+            }
+        }
+
+        Topology {
+            spec,
+            pods: 1,
+            cores_per_group: 0,
+            links,
+            peer,
+            host_leaf,
+            host_up,
+            host_down,
+            leaf_up,
+            spine_down,
+            agg_up: Vec::new(),
+            core_down: Vec::new(),
+            switch_kind,
+            switch_ports,
+        }
+    }
+
+    /// Build a 3-level folded Clos from `spec`. Panics on invalid specs.
+    pub fn clos3(spec: Clos3Spec) -> Topology {
+        spec.validate().expect("invalid Clos3Spec");
+        let pods = spec.pods as usize;
+        let lp = spec.leaves_per_pod as usize;
+        let na = spec.aggs_per_pod as usize; // per pod
+        let k = spec.cores_per_group as usize;
+        let nh = spec.hosts_per_leaf as usize;
+        let n_leaves = pods * lp;
+        let n_aggs = pods * na;
+        let n_cores = na * k;
+
+        let mut links: Vec<LinkDef> = Vec::new();
+        let mut peer_pairs: Vec<(LinkId, LinkId)> = Vec::new();
+        let mut host_leaf = vec![0u32; n_leaves * nh];
+        let mut host_up = vec![LinkId(0); n_leaves * nh];
+        let mut host_down = vec![LinkId(0); n_leaves * nh];
+        let mut leaf_up = vec![vec![LinkId(0); na]; n_leaves];
+        let mut spine_down = vec![vec![LinkId(0); n_leaves]; na];
+        let mut agg_up = vec![vec![LinkId(0); k]; n_aggs];
+        let mut core_down = vec![vec![LinkId(0); pods]; n_cores];
+
+        let leaf_sw = |l: usize| NodeId::Switch(SwitchId(l as u32));
+        let agg_sw = |g: usize| NodeId::Switch(SwitchId((n_leaves + g) as u32));
+        let core_sw = |c: usize| NodeId::Switch(SwitchId((n_leaves + n_aggs + c) as u32));
+
+        // Host links (identical scheme to the 2-level builder).
+        for l in 0..n_leaves {
+            for h in 0..nh {
+                let host = l * nh + h;
+                host_leaf[host] = l as u32;
+                let up = LinkId(links.len() as u32);
+                links.push(LinkDef {
+                    src: NodeId::Host(HostId(host as u32)),
+                    dst: leaf_sw(l),
+                    src_port: 0,
+                    dst_port: h as u16,
+                    bandwidth: spec.host_link.bandwidth,
+                    latency: spec.host_link.latency,
+                    class: LinkClass::HostUp {
+                        host: host as u32,
+                        leaf: l as u32,
+                    },
+                });
+                let down = LinkId(links.len() as u32);
+                links.push(LinkDef {
+                    src: leaf_sw(l),
+                    dst: NodeId::Host(HostId(host as u32)),
+                    src_port: h as u16,
+                    dst_port: 0,
+                    bandwidth: spec.host_link.bandwidth,
+                    latency: spec.host_link.latency,
+                    class: LinkClass::HostDown {
+                        leaf: l as u32,
+                        host: host as u32,
+                    },
+                });
+                host_up[host] = up;
+                host_down[host] = down;
+                peer_pairs.push((up, down));
+            }
+        }
+
+        // Leaf–agg links (within pods). Agg ports: 0..lp local leaves.
+        for p in 0..pods {
+            for ll in 0..lp {
+                let leaf = p * lp + ll;
+                for a in 0..na {
+                    let g = p * na + a; // global agg
+                    let up = LinkId(links.len() as u32);
+                    links.push(LinkDef {
+                        src: leaf_sw(leaf),
+                        dst: agg_sw(g),
+                        src_port: (nh + a) as u16,
+                        dst_port: ll as u16,
+                        bandwidth: spec.fabric_link.bandwidth,
+                        latency: spec.fabric_link.latency,
+                        class: LinkClass::LeafUp {
+                            leaf: leaf as u32,
+                            vspine: a as u32,
+                        },
+                    });
+                    let down = LinkId(links.len() as u32);
+                    links.push(LinkDef {
+                        src: agg_sw(g),
+                        dst: leaf_sw(leaf),
+                        src_port: ll as u16,
+                        dst_port: (nh + a) as u16,
+                        bandwidth: spec.fabric_link.bandwidth,
+                        latency: spec.fabric_link.latency,
+                        class: LinkClass::SpineDown {
+                            vspine: a as u32,
+                            leaf: leaf as u32,
+                        },
+                    });
+                    leaf_up[leaf][a] = up;
+                    spine_down[a][leaf] = down;
+                    peer_pairs.push((up, down));
+                }
+            }
+        }
+
+        // Agg–core links. Agg ports lp..lp+k; core ports 0..pods.
+        for p in 0..pods {
+            for a in 0..na {
+                let g = p * na + a;
+                for kk in 0..k {
+                    let c = a * k + kk; // global core (group a)
+                    let up = LinkId(links.len() as u32);
+                    links.push(LinkDef {
+                        src: agg_sw(g),
+                        dst: core_sw(c),
+                        src_port: (lp + kk) as u16,
+                        dst_port: p as u16,
+                        bandwidth: spec.fabric_link.bandwidth,
+                        latency: spec.fabric_link.latency,
+                        class: LinkClass::AggUp {
+                            agg: g as u32,
+                            core_k: kk as u32,
+                        },
+                    });
+                    let down = LinkId(links.len() as u32);
+                    links.push(LinkDef {
+                        src: core_sw(c),
+                        dst: agg_sw(g),
+                        src_port: p as u16,
+                        dst_port: (lp + kk) as u16,
+                        bandwidth: spec.fabric_link.bandwidth,
+                        latency: spec.fabric_link.latency,
+                        class: LinkClass::CoreDown {
+                            core: c as u32,
+                            agg: g as u32,
+                        },
+                    });
+                    agg_up[g][kk] = up;
+                    core_down[c][p] = down;
+                    peer_pairs.push((up, down));
+                }
+            }
+        }
+
+        let mut peer = vec![LinkId(0); links.len()];
+        for (a, b) in peer_pairs {
+            peer[a.idx()] = b;
+            peer[b.idx()] = a;
+        }
+
+        let mut switch_kind = Vec::with_capacity(n_leaves + n_aggs + n_cores);
+        let mut switch_ports = Vec::with_capacity(switch_kind.capacity());
+        for l in 0..n_leaves {
+            switch_kind.push(SwitchKind::Leaf(l as u32));
+            switch_ports.push((nh + na) as u32);
+        }
+        for g in 0..n_aggs {
+            switch_kind.push(SwitchKind::Spine(g as u32));
+            switch_ports.push((lp + k) as u32);
+        }
+        for c in 0..n_cores {
+            switch_kind.push(SwitchKind::Core(c as u32));
+            switch_ports.push(pods as u32);
+        }
+
+        Topology {
+            // Synthesized 2-level-compatible summary: `spines` = aggs per
+            // pod so `n_vspines()` counts the monitored leaf ports.
+            spec: FatTreeSpec {
+                leaves: n_leaves as u32,
+                spines: na as u32,
+                hosts_per_leaf: nh as u32,
+                parallel_links: 1,
+                fabric_link: spec.fabric_link,
+                host_link: spec.host_link,
+            },
+            pods: pods as u32,
+            cores_per_group: k as u32,
+            links,
+            peer,
+            host_leaf,
+            host_up,
+            host_down,
+            leaf_up,
+            spine_down,
+            agg_up,
+            core_down,
+            switch_kind,
+            switch_ports,
+        }
+    }
+
+    /// True for 3-level Clos topologies.
+    pub fn is_three_level(&self) -> bool {
+        self.pods > 1 || self.cores_per_group > 0
+    }
+
+    /// Number of aggregation switches (3-level; equals spine count in
+    /// 2-level terms it is 0).
+    pub fn n_aggs(&self) -> usize {
+        self.agg_up.len()
+    }
+
+    /// Number of core switches.
+    pub fn n_cores(&self) -> usize {
+        self.core_down.len()
+    }
+
+    /// Leaves per pod.
+    pub fn leaves_per_pod(&self) -> u32 {
+        self.spec.leaves / self.pods
+    }
+
+    /// Pod of a (global) leaf index.
+    pub fn pod_of_leaf(&self, leaf: u32) -> u32 {
+        leaf / self.leaves_per_pod()
+    }
+
+    /// Global aggregation index for `(pod, within-pod index)`.
+    pub fn agg_global(&self, pod: u32, a: u32) -> u32 {
+        pod * self.spec.spines + a
+    }
+
+    /// The agg→core uplink for global agg `g`, core slot `k`.
+    pub fn agg_uplink(&self, g: u32, k: u32) -> LinkId {
+        self.agg_up[g as usize][k as usize]
+    }
+
+    /// The core→agg downlink from global core `c` toward `pod`.
+    pub fn core_downlink(&self, c: u32, pod: u32) -> LinkId {
+        self.core_down[c as usize][pod as usize]
+    }
+
+    /// Global core index for group `a`, slot `k`.
+    pub fn core_global(&self, a: u32, k: u32) -> u32 {
+        a * self.cores_per_group + k
+    }
+
+    /// Number of hosts.
+    pub fn n_hosts(&self) -> usize {
+        self.host_leaf.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.spec.leaves as usize
+    }
+
+    /// Number of physical spines.
+    pub fn n_spines(&self) -> usize {
+        self.spec.spines as usize
+    }
+
+    /// Number of virtual spines (spine planes).
+    pub fn n_vspines(&self) -> usize {
+        self.spec.n_vspines() as usize
+    }
+
+    /// Number of switches (leaves + spines).
+    pub fn n_switches(&self) -> usize {
+        self.switch_kind.len()
+    }
+
+    /// Leaf index of a host.
+    pub fn leaf_of(&self, h: HostId) -> u32 {
+        self.host_leaf[h.idx()]
+    }
+
+    /// Hosts attached to `leaf`.
+    pub fn hosts_of_leaf(&self, leaf: u32) -> impl Iterator<Item = HostId> + '_ {
+        let nh = self.spec.hosts_per_leaf;
+        (leaf * nh..(leaf + 1) * nh).map(HostId)
+    }
+
+    /// The directed leaf→spine uplink for (leaf, vspine).
+    pub fn uplink(&self, leaf: u32, vspine: u32) -> LinkId {
+        self.leaf_up[leaf as usize][vspine as usize]
+    }
+
+    /// The directed spine→leaf downlink for (vspine, leaf).
+    pub fn downlink(&self, vspine: u32, leaf: u32) -> LinkId {
+        self.spine_down[vspine as usize][leaf as usize]
+    }
+
+    /// SwitchId of leaf `l`.
+    pub fn leaf_switch(&self, l: u32) -> SwitchId {
+        SwitchId(l)
+    }
+
+    /// SwitchId of physical spine `s`.
+    pub fn spine_switch(&self, s: u32) -> SwitchId {
+        SwitchId(self.spec.leaves + s)
+    }
+
+    /// Total directed links.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let t = Topology::fat_tree(FatTreeSpec::default());
+        assert_eq!(t.n_leaves(), 32);
+        assert_eq!(t.n_spines(), 16);
+        assert_eq!(t.n_hosts(), 32);
+        assert_eq!(t.n_vspines(), 16);
+        // 32 host pairs + 32*16 fabric pairs, two directed links each
+        assert_eq!(t.n_links(), 2 * (32 + 32 * 16));
+    }
+
+    #[test]
+    fn radix_constructor() {
+        let s = FatTreeSpec::from_radix(64);
+        assert_eq!(s.leaves, 64);
+        assert_eq!(s.spines, 32);
+        assert!(s.is_non_blocking());
+    }
+
+    #[test]
+    fn peers_are_involutive() {
+        let t = Topology::fat_tree(FatTreeSpec::default());
+        for i in 0..t.n_links() {
+            let p = t.peer[i];
+            assert_eq!(t.peer[p.idx()].idx(), i);
+            // peer reverses direction
+            assert_eq!(t.links[i].src, t.links[p.idx()].dst);
+            assert_eq!(t.links[i].dst, t.links[p.idx()].src);
+        }
+    }
+
+    #[test]
+    fn uplinks_and_downlinks_consistent() {
+        let t = Topology::fat_tree(FatTreeSpec::default());
+        for l in 0..t.n_leaves() as u32 {
+            for v in 0..t.n_vspines() as u32 {
+                let up = t.uplink(l, v);
+                let down = t.downlink(v, l);
+                assert_eq!(t.peer[up.idx()], down);
+                match t.links[up.idx()].class {
+                    LinkClass::LeafUp { leaf, vspine } => {
+                        assert_eq!((leaf, vspine), (l, v));
+                    }
+                    c => panic!("wrong class {c:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_links_create_virtual_spines() {
+        let spec = FatTreeSpec {
+            leaves: 4,
+            spines: 2,
+            parallel_links: 2,
+            ..Default::default()
+        };
+        let t = Topology::fat_tree(spec);
+        assert_eq!(t.n_vspines(), 4);
+        // Each leaf has 4 uplinks: 2 planes to each of 2 spines.
+        assert_eq!(t.leaf_up[0].len(), 4);
+        // Planes of the same spine land on the same physical SwitchId.
+        let up0 = t.links[t.uplink(0, 0).idx()];
+        let up1 = t.links[t.uplink(0, 1).idx()];
+        assert_eq!(up0.dst, up1.dst);
+        // ...but on distinct spine ports.
+        assert_ne!(up0.dst_port, up1.dst_port);
+    }
+
+    #[test]
+    fn leaf_port_numbering() {
+        let spec = FatTreeSpec {
+            leaves: 2,
+            spines: 2,
+            hosts_per_leaf: 3,
+            ..Default::default()
+        };
+        let t = Topology::fat_tree(spec);
+        // Host ports 0..3, vspine ports 3..5 at each leaf.
+        let down = t.links[t.downlink(1, 0).idx()];
+        assert_eq!(down.dst_port, 3 + 1);
+        let hup = t.links[t.host_up[1].idx()];
+        assert_eq!(hup.dst_port, 1);
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        assert!(FatTreeSpec {
+            leaves: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FatTreeSpec {
+            parallel_links: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn hosts_of_leaf_enumerates_correctly() {
+        let spec = FatTreeSpec {
+            leaves: 3,
+            spines: 2,
+            hosts_per_leaf: 2,
+            ..Default::default()
+        };
+        let t = Topology::fat_tree(spec);
+        let hs: Vec<u32> = t.hosts_of_leaf(1).map(|h| h.0).collect();
+        assert_eq!(hs, vec![2, 3]);
+        assert_eq!(t.leaf_of(HostId(3)), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Lightweight event tracing for debugging and forensics.
+//!
+//! Tracing records *exceptional* events only (drops, faults, PFC state
+//! changes, flow failures) into a bounded ring buffer, so it can stay
+//! enabled in tests without distorting performance. The hot path (every
+//! packet delivery) is never traced.
+
+use crate::fault::FaultKind;
+use crate::ids::LinkId;
+use crate::packet::FlowId;
+use crate::stats::DropCause;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One traced occurrence.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub enum TraceEvent {
+    /// A packet was dropped.
+    Drop {
+        /// Link where the drop occurred (or was detected).
+        link: LinkId,
+        /// Why.
+        cause: DropCause,
+        /// Owning flow if it was a data packet.
+        flow: Option<FlowId>,
+    },
+    /// A fault was installed on a link.
+    FaultSet {
+        /// Target link.
+        link: LinkId,
+        /// The fault.
+        kind: FaultKind,
+    },
+    /// A fault was cleared.
+    FaultCleared {
+        /// Target link.
+        link: LinkId,
+    },
+    /// PFC pause state changed at the transmitter of `link`.
+    PfcState {
+        /// Affected link.
+        link: LinkId,
+        /// Priority class.
+        prio: u8,
+        /// New state.
+        paused: bool,
+    },
+    /// A flow gave up retransmitting.
+    FlowFailed {
+        /// The abandoned flow.
+        flow: FlowId,
+    },
+}
+
+/// Bounded ring buffer of `(time, event)` records.
+#[derive(Clone, Debug)]
+pub struct TraceBuffer {
+    cap: usize,
+    buf: VecDeque<(SimTime, TraceEvent)>,
+    /// Total events offered (including evicted ones).
+    pub offered: u64,
+}
+
+impl TraceBuffer {
+    /// Buffer keeping the most recent `cap` events.
+    pub fn new(cap: usize) -> Self {
+        TraceBuffer {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(1024)),
+            offered: 0,
+        }
+    }
+
+    /// Append, evicting the oldest record if full.
+    pub fn push(&mut self, at: SimTime, ev: TraceEvent) {
+        self.offered += 1;
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back((at, ev));
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
+        self.buf.iter()
+    }
+
+    /// Retained record count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = TraceBuffer::new(2);
+        for i in 0..4 {
+            t.push(
+                SimTime::from_ns(i),
+                TraceEvent::FaultCleared { link: LinkId(0) },
+            );
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.offered, 4);
+        let times: Vec<u64> = t.records().map(|(at, _)| at.as_ns()).collect();
+        assert_eq!(times, vec![2, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_discards() {
+        let mut t = TraceBuffer::new(0);
+        t.push(SimTime::ZERO, TraceEvent::FlowFailed { flow: 1 });
+        assert!(t.is_empty());
+        assert_eq!(t.offered, 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! FlowPulse reproduction suite root crate.
+//!
+//! The real code lives in the workspace member crates (`fp-netsim`,
+//! `fp-collectives`, `flowpulse`, `fp-bench`); this root package hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). Re-exports below make `flowpulse_repro::prelude` a one-stop
+//! import for quick experiments.
+
+/// Everything, in one import.
+pub mod prelude {
+    pub use flowpulse::prelude::*;
+    pub use fp_collectives::prelude::*;
+    pub use fp_netsim::prelude::*;
+}

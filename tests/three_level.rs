@@ -1,0 +1,154 @@
+//! End-to-end tests for 3-level Clos monitoring (paper §7 "Network
+//! Topology": "FlowPulse could extend to other topologies by deploying
+//! FlowPulse at both leaf and spine levels to monitor spine-leaf and
+//! core-spine links respectively.")
+
+use flowpulse::prelude::*;
+use fp_collectives::prelude::*;
+use fp_netsim::prelude::*;
+use fp_netsim::topology::Clos3Spec;
+
+fn fabric() -> Topology {
+    Topology::clos3(Clos3Spec {
+        pods: 4,
+        leaves_per_pod: 2,
+        aggs_per_pod: 2,
+        cores_per_group: 2,
+        hosts_per_leaf: 1,
+        ..Default::default()
+    })
+}
+
+/// Run `iters` ring iterations over all hosts; returns the simulator.
+fn run_ring(topo: Topology, iters: u32, seed: u64, hook: Option<IterationHook>) -> Simulator {
+    let hosts: Vec<HostId> = (0..topo.n_hosts() as u32).map(HostId).collect();
+    let sched = ring_allreduce(&hosts, 4 * 1024 * 1024);
+    let mut sim = Simulator::new(topo, SimConfig::default(), seed);
+    let mut runner = CollectiveRunner::new(
+        sched,
+        RunnerConfig {
+            iterations: iters,
+            ..Default::default()
+        },
+    );
+    if let Some(h) = hook {
+        runner.set_iteration_start_hook(h);
+    }
+    sim.set_app(Box::new(runner));
+    sim.run();
+    sim
+}
+
+use fp_collectives::runner::IterationHook;
+
+#[test]
+fn both_tiers_match_analytical_predictions_when_clean() {
+    let topo = fabric();
+    let hosts: Vec<HostId> = (0..8).map(HostId).collect();
+    let demand = ring_allreduce(&hosts, 4 * 1024 * 1024).demand(8);
+    let pred = AnalyticalModel::new(&topo, []).predict(&demand);
+    let sim = run_ring(topo, 2, 3, None);
+
+    let leaf_obs = PortLoads::from_counters(sim.counters.get(1, 0).unwrap());
+    let leaf_dev = pred.loads.max_rel_dev(&leaf_obs, 1.0);
+    assert!(leaf_dev < 0.005, "leaf tier dev {:.3}%", leaf_dev * 100.0);
+
+    let agg_obs = PortLoads::from_counters(sim.agg_counters.get(1, 0).unwrap());
+    let agg_pred = pred.agg_loads.as_ref().unwrap();
+    let agg_dev = agg_pred.max_rel_dev(&agg_obs, 1.0);
+    assert!(agg_dev < 0.005, "agg tier dev {:.3}%", agg_dev * 100.0);
+    // The ring crosses pods: the core tier genuinely carries traffic.
+    assert!(agg_obs.total() > 0.0);
+}
+
+#[test]
+fn silent_core_fault_caught_by_agg_monitor_and_localized_to_slot() {
+    let topo = fabric();
+    let hosts: Vec<HostId> = (0..8).map(HostId).collect();
+    let demand = ring_allreduce(&hosts, 4 * 1024 * 1024).demand(8);
+    let pred = AnalyticalModel::new(&topo, []).predict(&demand);
+
+    // Fault: 10% silent drop on core(group 0, slot 0) -> pod 2, installed
+    // from iteration 1.
+    let bad = topo.core_downlink(topo.core_global(0, 0), 2);
+    let mut installed = false;
+    let sim = run_ring(
+        topo.clone(),
+        3,
+        7,
+        Some(Box::new(move |sim: &mut Simulator, iter: u32| {
+            if iter >= 1 && !installed {
+                installed = true;
+                sim.apply_fault_now(
+                    bad,
+                    fp_netsim::fault::FaultAction::Set(FaultKind::SilentDrop { rate: 0.10 }),
+                    false,
+                );
+            }
+        })),
+    );
+
+    // Agg-tier monitor.
+    let mut agg_mon = Monitor::new_fixed(
+        1,
+        Detector::new(0.01),
+        pred.agg_loads.clone().unwrap(),
+    );
+    agg_mon.scan(&sim.agg_counters, true);
+    assert!(
+        agg_mon.alarms.iter().all(|a| a.iter >= 1),
+        "no false alarms before the fault: {:?}",
+        agg_mon.alarms
+    );
+    let shortfalls = agg_mon.shortfall_ports(1);
+    // The deviating agg port is exactly (agg_global(pod2, group0), slot 0).
+    let expected_port = (topo.agg_global(2, 0), 0u32);
+    assert!(
+        shortfalls.contains(&expected_port),
+        "agg shortfalls {shortfalls:?} missing {expected_port:?}"
+    );
+
+    // Leaf-tier monitor sees the same fault (its port from agg group 0 at
+    // the destination leaf is short), but cannot tell which core slot.
+    let mut leaf_mon = Monitor::new_fixed(1, Detector::new(0.01), pred.loads.clone());
+    leaf_mon.scan(&sim.counters, true);
+    assert!(leaf_mon.alarms.iter().any(|a| a.iter >= 1));
+}
+
+#[test]
+fn known_core_fault_is_absorbed_by_the_model() {
+    let topo = fabric();
+    let hosts: Vec<HostId> = (0..8).map(HostId).collect();
+    let demand = ring_allreduce(&hosts, 4 * 1024 * 1024).demand(8);
+    // Admin-down one core cable; the model knows, routing avoids it.
+    let down = [
+        topo.core_downlink(topo.core_global(1, 1), 3),
+        topo.peer[topo.core_downlink(topo.core_global(1, 1), 3).idx()],
+    ];
+    let pred = AnalyticalModel::new(&topo, down).predict(&demand);
+
+    let mut sim = Simulator::new(topo.clone(), SimConfig::default(), 5);
+    for l in down {
+        sim.apply_fault_now(l, fp_netsim::fault::FaultAction::Set(FaultKind::AdminDown), false);
+    }
+    let sched = ring_allreduce(&hosts, 4 * 1024 * 1024);
+    sim.set_app(Box::new(CollectiveRunner::new(
+        sched,
+        RunnerConfig {
+            iterations: 2,
+            ..Default::default()
+        },
+    )));
+    sim.run();
+
+    let mut agg_mon = Monitor::new_fixed(1, Detector::new(0.01), pred.agg_loads.unwrap());
+    agg_mon.scan(&sim.agg_counters, true);
+    assert!(
+        agg_mon.alarms.is_empty(),
+        "known fault must not alarm: {:?}",
+        agg_mon.alarms
+    );
+    let mut leaf_mon = Monitor::new_fixed(1, Detector::new(0.01), pred.loads);
+    leaf_mon.scan(&sim.counters, true);
+    assert!(leaf_mon.alarms.is_empty(), "{:?}", leaf_mon.alarms);
+}
