@@ -1,0 +1,53 @@
+//! Campaign-runner benchmark: trials/second for a small sweep at several
+//! worker counts. On a single-core box all counts perform alike (the pool
+//! degrades gracefully); on an N-core box the parameter sweep shows the
+//! fan-out speedup while the determinism tests pin the output bytes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowpulse::prelude::{FaultSpec, InjectedFault, TrialSpec};
+use fp_bench::Campaign;
+
+fn sweep_specs(n: usize) -> Vec<TrialSpec> {
+    let base = TrialSpec {
+        leaves: 4,
+        spines: 2,
+        bytes_per_node: 1024 * 1024,
+        iterations: 2,
+        ..Default::default()
+    };
+    (0..n)
+        .map(|i| TrialSpec {
+            seed: 1000 + i as u64,
+            // Half the trials carry a fault so workloads are uneven, like a
+            // real sweep.
+            fault: (i % 2 == 1).then_some(FaultSpec {
+                kind: InjectedFault::Drop { rate: 0.02 },
+                at_iter: 1,
+                heal_at_iter: None,
+                bidirectional: false,
+            }),
+            ..base.clone()
+        })
+        .collect()
+}
+
+fn campaign_benches(c: &mut Criterion) {
+    let specs = sweep_specs(8);
+    let mut g = c.benchmark_group("campaign/sweep_8_trials_4x2");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(specs.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let pool = Campaign::with_threads(threads);
+                b.iter(|| pool.run(&specs));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, campaign_benches);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! fault-free noise floor and detection accuracy at a 1.5% drop.
 
 use flowpulse::prelude::*;
-use fp_bench::{header, pct, pick, save_json, seeds};
+use fp_bench::{header, pct, pick, save_json, seeds, Campaign};
 use fp_collectives::jitter::JitterModel;
 use fp_netsim::time::SimDuration;
 use serde::Serialize;
@@ -24,14 +24,7 @@ fn main() {
     let fault_seeds = seeds(pick(3, 2));
     let clean_seeds = seeds(pick(2, 1));
 
-    header("A2 — jitter sensitivity (ring-allreduce, 1.5% drop)");
-    println!(
-        "{:>10} {:>12} {:>8} {:>8}",
-        "jitter", "noise-floor", "FPR", "FNR"
-    );
-
-    let mut rows = Vec::new();
-    for &us in &jitters_us {
+    let base_for = |us: u64| {
         let jitter = if us == 0 {
             JitterModel::None
         } else {
@@ -39,27 +32,29 @@ fn main() {
                 max: SimDuration::from_us(us),
             }
         };
-        let base = TrialSpec {
+        TrialSpec {
             leaves: pick(32, 8),
             spines: pick(16, 4),
             bytes_per_node: pick(32, 8) * 1024 * 1024,
             iterations: 3,
             jitter,
             ..Default::default()
-        };
-        let mut trials = Vec::new();
-        let mut noise: f64 = 0.0;
+        }
+    };
+
+    // Specs in serial-harness order: per jitter magnitude, clean seeds then
+    // fault seeds.
+    let mut specs: Vec<TrialSpec> = Vec::new();
+    for &us in &jitters_us {
+        let base = base_for(us);
         for &s in &clean_seeds {
-            let t = run_trial(&TrialSpec {
+            specs.push(TrialSpec {
                 seed: s,
                 ..base.clone()
             });
-            let (c, _) = flowpulse::eval::split_devs(&t);
-            noise = noise.max(c.iter().cloned().fold(0.0, f64::max));
-            trials.push(t);
         }
         for &s in &fault_seeds {
-            trials.push(run_trial(&TrialSpec {
+            specs.push(TrialSpec {
                 seed: s,
                 fault: Some(FaultSpec {
                     kind: InjectedFault::Drop { rate: 0.015 },
@@ -68,8 +63,28 @@ fn main() {
                     bidirectional: false,
                 }),
                 ..base.clone()
-            }));
+            });
         }
+    }
+    let mut results = Campaign::from_env().run(&specs).into_iter();
+
+    header("A2 — jitter sensitivity (ring-allreduce, 1.5% drop)");
+    println!(
+        "{:>10} {:>12} {:>8} {:>8}",
+        "jitter", "noise-floor", "FPR", "FNR"
+    );
+
+    let mut rows = Vec::new();
+    for &us in &jitters_us {
+        let mut trials = Vec::new();
+        let mut noise: f64 = 0.0;
+        for _ in &clean_seeds {
+            let t = results.next().expect("one result per spec");
+            let (c, _) = flowpulse::eval::split_devs(&t);
+            noise = noise.max(c.iter().cloned().fold(0.0, f64::max));
+            trials.push(t);
+        }
+        trials.extend(results.by_ref().take(fault_seeds.len()));
         let r = Rates::from_trials(&trials);
         println!(
             "{:>8}us {:>12} {:>8} {:>8}",

@@ -60,7 +60,11 @@ fn ring_part(rows: &mut Vec<RingRow>) {
         }
         println!(
             "{:>14} {:>8} {:>10} {:>10}",
-            if bidir { "bidirectional" } else { "spine→leaf" },
+            if bidir {
+                "bidirectional"
+            } else {
+                "spine→leaf"
+            },
             seeds.len(),
             detected,
             localized
@@ -96,8 +100,10 @@ fn alltoall_part(rows: &mut Vec<A2ARow>) {
     let demand = sched.demand(leaves as usize);
     let pred = flowpulse::analytical::AnalyticalModel::new(&topo, []).predict(&demand);
 
-    let mut cfg = SimConfig::default();
-    cfg.spray = fp_netsim::spray::SprayPolicy::Random;
+    let cfg = SimConfig {
+        spray: fp_netsim::spray::SprayPolicy::Random,
+        ..Default::default()
+    };
     let mut sim = Simulator::new(topo.clone(), cfg, 5);
     // Bidirectional 30% gray fault on a known cable from iteration 1.
     let fleaf = 3u32;
@@ -125,8 +131,7 @@ fn alltoall_part(rows: &mut Vec<A2ARow>) {
     sim.run();
 
     let expected = &pred.by_src;
-    let observed =
-        flowpulse::model::PortSrcLoads::from_counters(sim.counters.get(1, 1).unwrap());
+    let observed = flowpulse::model::PortSrcLoads::from_counters(sim.counters.get(1, 1).unwrap());
     let localizer = Localizer {
         sender_threshold: 0.15,
         ..Default::default()
@@ -156,9 +161,10 @@ fn alltoall_part(rows: &mut Vec<A2ARow>) {
         }
         let v = localizer.localize_port(expected, &observed, leaf, fv);
         remote_total += 1;
-        let correct = v == PortVerdict::Remote {
-            senders: vec![fleaf],
-        };
+        let correct = v
+            == PortVerdict::Remote {
+                senders: vec![fleaf],
+            };
         remote_ok += correct as u32;
         rows.push(A2ARow {
             port_role: format!("remote@leaf{leaf}"),
@@ -166,9 +172,7 @@ fn alltoall_part(rows: &mut Vec<A2ARow>) {
             correct,
         });
     }
-    println!(
-        "remote ports: {remote_ok}/{remote_total} correctly blamed leaf{fleaf}'s cable"
-    );
+    println!("remote ports: {remote_ok}/{remote_total} correctly blamed leaf{fleaf}'s cable");
     assert!(ok_local, "Fig. 4 local verdict failed");
     assert!(
         remote_ok * 10 >= remote_total * 8,

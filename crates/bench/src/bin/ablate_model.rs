@@ -25,10 +25,7 @@ fn main() {
     let clean_seeds = seeds(pick(3, 1));
 
     header("Model comparison — analytical vs simulation vs learned");
-    println!(
-        "{:>22} {:>8} {:>8} {:>8}",
-        "model", "drop", "FPR", "FNR"
-    );
+    println!("{:>22} {:>8} {:>8} {:>8}", "model", "drop", "FPR", "FNR");
 
     let mut rows = Vec::new();
     for model in models {

@@ -95,7 +95,10 @@ fn main() {
         let r = scenario(bg, prio);
         println!(
             "{:>12} {:>12} {:>16} {:>14}us",
-            r.background, r.prioritized, pct(r.max_dev_vs_model), r.collective_wall_us
+            r.background,
+            r.prioritized,
+            pct(r.max_dev_vs_model),
+            r.collective_wall_us
         );
         rows.push(r);
     }

@@ -8,7 +8,7 @@
 //! drop for each policy.
 
 use flowpulse::prelude::*;
-use fp_bench::{header, pct, pick, save_json, seeds};
+use fp_bench::{header, pct, pick, save_json, seeds, Campaign};
 use fp_netsim::spray::SprayPolicy;
 use serde::Serialize;
 
@@ -32,6 +32,49 @@ fn main() {
     let fault_seeds = seeds(pick(3, 2));
     let clean_seeds = seeds(pick(3, 1));
 
+    let base_for = |policy: SprayPolicy, mib: u64| {
+        let sim_cfg = fp_netsim::config::SimConfig {
+            spray: policy,
+            ..Default::default()
+        };
+        TrialSpec {
+            leaves: pick(16, 8),
+            spines: pick(8, 4),
+            bytes_per_node: mib * 1024 * 1024,
+            iterations: 3,
+            sim: sim_cfg,
+            ..Default::default()
+        }
+    };
+
+    // Specs in serial-harness order: per (policy, size), clean seeds then
+    // fault seeds.
+    let mut specs: Vec<TrialSpec> = Vec::new();
+    for policy in policies {
+        for &mib in &sizes_mib {
+            let base = base_for(policy, mib);
+            for &s in &clean_seeds {
+                specs.push(TrialSpec {
+                    seed: s,
+                    ..base.clone()
+                });
+            }
+            for &s in &fault_seeds {
+                specs.push(TrialSpec {
+                    seed: s,
+                    fault: Some(FaultSpec {
+                        kind: InjectedFault::Drop { rate: 0.015 },
+                        at_iter: 1,
+                        heal_at_iter: None,
+                        bidirectional: false,
+                    }),
+                    ..base.clone()
+                });
+            }
+        }
+    }
+    let mut results = Campaign::from_env().run(&specs).into_iter();
+
     header("A1 — spray policy vs symmetry noise and detection (1.5% drop)");
     println!(
         "{:>22} {:>10} {:>12} {:>8} {:>8}",
@@ -41,39 +84,15 @@ fn main() {
     let mut rows = Vec::new();
     for policy in policies {
         for &mib in &sizes_mib {
-            let mut sim_cfg = fp_netsim::config::SimConfig::default();
-            sim_cfg.spray = policy;
-            let base = TrialSpec {
-                leaves: pick(16, 8),
-                spines: pick(8, 4),
-                bytes_per_node: mib * 1024 * 1024,
-                iterations: 3,
-                sim: sim_cfg,
-                ..Default::default()
-            };
             let mut trials = Vec::new();
             let mut noise: f64 = 0.0;
-            for &s in &clean_seeds {
-                let t = run_trial(&TrialSpec {
-                    seed: s,
-                    ..base.clone()
-                });
+            for _ in &clean_seeds {
+                let t = results.next().expect("one result per spec");
                 let (c, _) = flowpulse::eval::split_devs(&t);
                 noise = noise.max(c.iter().cloned().fold(0.0, f64::max));
                 trials.push(t);
             }
-            for &s in &fault_seeds {
-                trials.push(run_trial(&TrialSpec {
-                    seed: s,
-                    fault: Some(FaultSpec {
-                        kind: InjectedFault::Drop { rate: 0.015 },
-                        at_iter: 1,
-                        heal_at_iter: None,
-                        bidirectional: false,
-                    }),
-                    ..base.clone()
-                }));
-            }
+            trials.extend(results.by_ref().take(fault_seeds.len()));
             let r = Rates::from_trials(&trials);
             println!(
                 "{:>22} {:>8}Mi {:>12} {:>8} {:>8}",

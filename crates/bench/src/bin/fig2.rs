@@ -64,7 +64,11 @@ fn run_scenario(
     // The "production" fabric run.
     let mut sim = Simulator::new(topo.clone(), SimConfig::default(), 42);
     for &l in &admin_down {
-        sim.apply_fault_now(l, fp_netsim::fault::FaultAction::Set(FaultKind::AdminDown), false);
+        sim.apply_fault_now(
+            l,
+            fp_netsim::fault::FaultAction::Set(FaultKind::AdminDown),
+            false,
+        );
     }
     let tag = CollectiveTag { job: 7, iter: 0 };
     sim.post_message(src, dst, bytes, Some(tag), Priority::MEASURED);

@@ -73,14 +73,22 @@ fn main() {
             .find(|(it, _)| *it == i as u32)
             .map(|(_, v)| format!("{v:?}"))
             .unwrap_or_else(|| "-".into());
-        let verdict = verdict.split(' ').next().unwrap_or(&verdict).replace('{', "");
+        let verdict = verdict
+            .split(' ')
+            .next()
+            .unwrap_or(&verdict)
+            .replace('{', "");
         let fb = obs.get(fleaf, fv);
         let hb = obs.get(fleaf, hv);
         println!(
             "{i:>5} {:>16} {:>16} {verdict:>14} {:>8}",
             fmt_bytes(fb as u64),
             fmt_bytes(hb as u64),
-            if alarmed.contains(&(i as u32)) { "YES" } else { "-" }
+            if alarmed.contains(&(i as u32)) {
+                "YES"
+            } else {
+                "-"
+            }
         );
         rows.push(Row {
             iter: i as u32,
@@ -99,7 +107,11 @@ fn main() {
     println!(
         "\nFig 3 verdict: heal at iteration {heal_at} was {} as a rebalance \
          (baseline replaced), {} false alarms after the heal.",
-        if rebalanced { "recognized" } else { "NOT recognized" },
+        if rebalanced {
+            "recognized"
+        } else {
+            "NOT recognized"
+        },
         r.alarms.iter().filter(|a| a.iter >= heal_at).count()
     );
     assert!(rebalanced, "learned model failed to rebaseline on heal");

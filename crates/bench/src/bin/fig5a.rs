@@ -7,7 +7,7 @@
 //! and sweep the detection threshold offline to produce ROC points.
 
 use flowpulse::prelude::*;
-use fp_bench::{header, pct, pick, save_json, seeds};
+use fp_bench::{header, pct, pick, save_json, seeds, Campaign};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -35,15 +35,38 @@ fn main() {
         ..Default::default()
     };
 
+    // The whole sweep as one spec list, in the order the serial harness ran
+    // it: clean seeds first, then fault seeds per drop rate. The campaign
+    // executes trials in parallel; aggregation below consumes the results
+    // in input order, so the JSON is byte-identical at any FP_THREADS.
+    let mut specs: Vec<TrialSpec> = Vec::new();
+    for &s in &clean_seeds {
+        specs.push(TrialSpec {
+            seed: s,
+            ..base.clone()
+        });
+    }
+    for &rate in &drop_rates {
+        for &s in &fault_seeds {
+            specs.push(TrialSpec {
+                seed: s,
+                fault: Some(FaultSpec {
+                    kind: InjectedFault::Drop { rate },
+                    at_iter: 1,
+                    heal_at_iter: None,
+                    bidirectional: false,
+                }),
+                ..base.clone()
+            });
+        }
+    }
+    let mut results = Campaign::from_env().run(&specs).into_iter();
+
     // Clean deviations: fault-free trials + pre-fault iterations of fault
     // trials all contribute.
     let mut clean_devs: Vec<f64> = Vec::new();
-    for &s in &clean_seeds {
-        let spec = TrialSpec {
-            seed: s,
-            ..base.clone()
-        };
-        let r = run_trial(&spec);
+    for _ in &clean_seeds {
+        let r = results.next().expect("one result per spec");
         let (c, _) = flowpulse::eval::split_devs(&r);
         clean_devs.extend(c);
     }
@@ -65,18 +88,8 @@ fn main() {
     let mut perfect_at_1pct = Vec::new();
     for &rate in &drop_rates {
         let mut faulty_devs = Vec::new();
-        for &s in &fault_seeds {
-            let spec = TrialSpec {
-                seed: s,
-                fault: Some(FaultSpec {
-                    kind: InjectedFault::Drop { rate },
-                    at_iter: 1,
-                    heal_at_iter: None,
-                    bidirectional: false,
-                }),
-                ..base.clone()
-            };
-            let r = run_trial(&spec);
+        for _ in &fault_seeds {
+            let r = results.next().expect("one result per spec");
             let (c, f) = flowpulse::eval::split_devs(&r);
             clean_devs.extend(c);
             faulty_devs.extend(f);
@@ -85,7 +98,12 @@ fn main() {
         println!("\ndrop rate {}:", pct(rate));
         println!("{:>10} {:>8} {:>8}", "threshold", "FPR", "TPR");
         for p in &curve {
-            println!("{:>10} {:>8} {:>8}", pct(p.threshold), pct(p.fpr), pct(p.tpr));
+            println!(
+                "{:>10} {:>8} {:>8}",
+                pct(p.threshold),
+                pct(p.fpr),
+                pct(p.tpr)
+            );
             rows.push(Row {
                 drop_rate: rate,
                 threshold: p.threshold,

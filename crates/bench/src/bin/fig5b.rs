@@ -16,7 +16,7 @@
 //! challenging".
 
 use flowpulse::prelude::*;
-use fp_bench::{header, pct, pick, save_json, seeds};
+use fp_bench::{header, pct, pick, save_json, seeds, Campaign};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -37,31 +37,28 @@ fn main() {
     let fault_seeds = seeds(pick(4, 2));
     let clean_seeds = seeds(pick(4, 1));
 
-    header("Fig 5(b) — FPR/FNR vs switch radix (drop rate 0.8%)");
-    println!(
-        "{:>6} {:>7} {:>7} {:>8} {:>8} {:>14}",
-        "radix", "leaves", "spines", "FPR", "FNR", "mean dev(flt)"
-    );
+    let base_for = |radix: u32| TrialSpec {
+        leaves: radix,
+        spines: radix / 2,
+        bytes_per_node: pick(16, 8) * 1024 * 1024,
+        iterations: 3,
+        threshold,
+        ..Default::default()
+    };
 
-    let mut rows = Vec::new();
+    // Specs in serial-harness order: per radix, clean seeds then fault
+    // seeds. Results are consumed in the same order below.
+    let mut specs: Vec<TrialSpec> = Vec::new();
     for &radix in &radixes {
-        let base = TrialSpec {
-            leaves: radix,
-            spines: radix / 2,
-            bytes_per_node: pick(16, 8) * 1024 * 1024,
-            iterations: 3,
-            threshold,
-            ..Default::default()
-        };
-        let mut trials = Vec::new();
+        let base = base_for(radix);
         for &s in &clean_seeds {
-            trials.push(run_trial(&TrialSpec {
+            specs.push(TrialSpec {
                 seed: s,
                 ..base.clone()
-            }));
+            });
         }
         for &s in &fault_seeds {
-            trials.push(run_trial(&TrialSpec {
+            specs.push(TrialSpec {
                 seed: s,
                 fault: Some(FaultSpec {
                     kind: InjectedFault::Drop { rate: drop_rate },
@@ -70,8 +67,21 @@ fn main() {
                     bidirectional: false,
                 }),
                 ..base.clone()
-            }));
+            });
         }
+    }
+    let mut results = Campaign::from_env().run(&specs).into_iter();
+
+    header("Fig 5(b) — FPR/FNR vs switch radix (drop rate 0.8%)");
+    println!(
+        "{:>6} {:>7} {:>7} {:>8} {:>8} {:>14}",
+        "radix", "leaves", "spines", "FPR", "FNR", "mean dev(flt)"
+    );
+
+    let per_radix = clean_seeds.len() + fault_seeds.len();
+    let mut rows = Vec::new();
+    for &radix in &radixes {
+        let trials: Vec<TrialResult> = results.by_ref().take(per_radix).collect();
         let rates = Rates::from_trials(&trials);
         let faulty_devs: Vec<f64> = trials
             .iter()

@@ -6,7 +6,7 @@
 //! large ones (the paper notes LLM AllReduces reach GBs) separate cleanly.
 
 use flowpulse::prelude::*;
-use fp_bench::{header, pct, pick, save_json, seeds};
+use fp_bench::{header, pct, pick, save_json, seeds, Campaign};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -23,33 +23,29 @@ fn main() {
     let fault_seeds = seeds(pick(3, 2));
     let clean_seeds = seeds(pick(2, 1));
 
-    header("Fig 5(c) — FPR/FNR vs collective size");
-    println!(
-        "{:>10} {:>10} {:>8} {:>8}",
-        "size/node", "drop", "FPR", "FNR"
-    );
+    let base_for = |mib: u64| TrialSpec {
+        leaves: pick(32, 8),
+        spines: pick(16, 4),
+        bytes_per_node: mib * 1024 * 1024,
+        iterations: 3,
+        ..Default::default()
+    };
 
-    let mut rows = Vec::new();
+    // Specs in serial-harness order: per size, the shared clean trials once,
+    // then fault seeds per drop rate. Aggregation below re-creates the
+    // original trial lists (clean results cloned into each rate's batch).
+    let mut specs: Vec<TrialSpec> = Vec::new();
     for &mib in &sizes_mib {
-        let base = TrialSpec {
-            leaves: pick(32, 8),
-            spines: pick(16, 4),
-            bytes_per_node: mib * 1024 * 1024,
-            iterations: 3,
-            ..Default::default()
-        };
-        // Clean trials shared across drop rates for this size.
-        let mut clean_trials = Vec::new();
+        let base = base_for(mib);
         for &s in &clean_seeds {
-            clean_trials.push(run_trial(&TrialSpec {
+            specs.push(TrialSpec {
                 seed: s,
                 ..base.clone()
-            }));
+            });
         }
         for &rate in &drop_rates {
-            let mut trials = clean_trials.clone();
             for &s in &fault_seeds {
-                trials.push(run_trial(&TrialSpec {
+                specs.push(TrialSpec {
                     seed: s,
                     fault: Some(FaultSpec {
                         kind: InjectedFault::Drop { rate },
@@ -58,8 +54,25 @@ fn main() {
                         bidirectional: false,
                     }),
                     ..base.clone()
-                }));
+                });
             }
+        }
+    }
+    let mut results = Campaign::from_env().run(&specs).into_iter();
+
+    header("Fig 5(c) — FPR/FNR vs collective size");
+    println!(
+        "{:>10} {:>10} {:>8} {:>8}",
+        "size/node", "drop", "FPR", "FNR"
+    );
+
+    let mut rows = Vec::new();
+    for &mib in &sizes_mib {
+        // Clean trials shared across drop rates for this size.
+        let clean_trials: Vec<TrialResult> = results.by_ref().take(clean_seeds.len()).collect();
+        for &rate in &drop_rates {
+            let mut trials = clean_trials.clone();
+            trials.extend(results.by_ref().take(fault_seeds.len()));
             let r = Rates::from_trials(&trials);
             println!(
                 "{:>8}Mi {:>10} {:>8} {:>8}",

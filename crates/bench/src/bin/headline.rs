@@ -123,7 +123,10 @@ fn main() {
         // Quick mode shrinks the fabric below the regime the headline
         // claim is about (1.5% signal vs 4-spine retransmit inflation);
         // report without asserting.
-        println!("\nE7 (quick mode): detected={} localized={:?}", r.detected, r.localized_correctly);
+        println!(
+            "\nE7 (quick mode): detected={} localized={:?}",
+            r.detected, r.localized_correctly
+        );
         return;
     }
     assert!(r.detected && !r.false_alarm, "headline claim regressed");

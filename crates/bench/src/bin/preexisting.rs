@@ -9,7 +9,7 @@
 
 use flowpulse::baselines::SpatialSymmetryDetector;
 use flowpulse::prelude::*;
-use fp_bench::{header, pct, pick, save_json, seeds};
+use fp_bench::{header, pct, pick, save_json, seeds, Campaign};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -28,6 +28,43 @@ fn main() {
     let clean_seeds = seeds(pick(3, 1));
     let spatial = SpatialSymmetryDetector::default();
 
+    let base_for = |pre: u32| TrialSpec {
+        leaves: pick(32, 8),
+        spines: pick(16, 4),
+        bytes_per_node: pick(32, 8) * 1024 * 1024,
+        preexisting: pre,
+        iterations: 3,
+        ..Default::default()
+    };
+
+    // Specs in serial-harness order: per pre-existing count, the shared
+    // clean trials, then fault seeds per drop rate.
+    let mut specs: Vec<TrialSpec> = Vec::new();
+    for &pre in &preexisting_counts {
+        let base = base_for(pre);
+        for &s in &clean_seeds {
+            specs.push(TrialSpec {
+                seed: s,
+                ..base.clone()
+            });
+        }
+        for &rate in &drop_rates {
+            for &s in &fault_seeds {
+                specs.push(TrialSpec {
+                    seed: s,
+                    fault: Some(FaultSpec {
+                        kind: InjectedFault::Drop { rate },
+                        at_iter: 1,
+                        heal_at_iter: None,
+                        bidirectional: false,
+                    }),
+                    ..base.clone()
+                });
+            }
+        }
+    }
+    let mut results = Campaign::from_env().run(&specs).into_iter();
+
     header("E6 — new silent faults on top of pre-existing known faults");
     println!(
         "{:>6} {:>8} {:>8} {:>8} {:>14}",
@@ -36,21 +73,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for &pre in &preexisting_counts {
-        let base = TrialSpec {
-            leaves: pick(32, 8),
-            spines: pick(16, 4),
-            bytes_per_node: pick(32, 8) * 1024 * 1024,
-            preexisting: pre,
-            iterations: 3,
-            ..Default::default()
-        };
-        let mut clean_trials = Vec::new();
-        for &s in &clean_seeds {
-            clean_trials.push(run_trial(&TrialSpec {
-                seed: s,
-                ..base.clone()
-            }));
-        }
+        let clean_trials: Vec<TrialResult> = results.by_ref().take(clean_seeds.len()).collect();
         // Spatial baseline FPR: fraction of *clean* iterations it alarms on.
         let mut spatial_fp = 0u32;
         let mut spatial_n = 0u32;
@@ -70,18 +93,7 @@ fn main() {
 
         for &rate in &drop_rates {
             let mut trials = clean_trials.clone();
-            for &s in &fault_seeds {
-                trials.push(run_trial(&TrialSpec {
-                    seed: s,
-                    fault: Some(FaultSpec {
-                        kind: InjectedFault::Drop { rate },
-                        at_iter: 1,
-                        heal_at_iter: None,
-                        bidirectional: false,
-                    }),
-                    ..base.clone()
-                }));
-            }
+            trials.extend(results.by_ref().take(fault_seeds.len()));
             let r = Rates::from_trials(&trials);
             println!(
                 "{pre:>6} {:>8} {:>8} {:>8} {:>14}",

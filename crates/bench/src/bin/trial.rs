@@ -33,19 +33,22 @@ struct Summary {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--template") {
-        let mut spec = TrialSpec::default();
-        spec.fault = Some(FaultSpec {
-            kind: InjectedFault::Drop { rate: 0.015 },
-            at_iter: 1,
-            heal_at_iter: None,
-            bidirectional: false,
-        });
+        let spec = TrialSpec {
+            fault: Some(FaultSpec {
+                kind: InjectedFault::Drop { rate: 0.015 },
+                at_iter: 1,
+                heal_at_iter: None,
+                bidirectional: false,
+            }),
+            ..Default::default()
+        };
         println!("{}", serde_json::to_string_pretty(&spec).unwrap());
         return;
     }
     let raw = match args.iter().find(|a| !a.starts_with("--")) {
-        Some(path) => std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => {
             let mut s = String::new();
             std::io::stdin()

@@ -1,0 +1,153 @@
+//! Parallel, deterministic trial campaigns.
+//!
+//! Every fp-bench binary is a sweep over independent [`TrialSpec`]s: tens of
+//! self-contained simulations, each seeded from its spec. A [`Campaign`]
+//! fans those trials out over a worker pool while keeping the output
+//! *byte-identical* to a serial run:
+//!
+//! * each trial's randomness derives entirely from the spec it was built
+//!   from (`TrialSpec::seed`), never from execution order, thread identity
+//!   or wall-clock time;
+//! * results come back in input order no matter which worker finished first.
+//!
+//! The pool size comes from `FP_THREADS` (falling back to the machine's
+//! available parallelism), so `FP_THREADS=1` reproduces the serial harness
+//! exactly and any other value produces the same bytes, faster. Binaries
+//! build their full spec list up front in the order the serial code ran
+//! trials, call [`Campaign::run`] once, then aggregate the results walking
+//! that same order.
+
+use flowpulse::prelude::{run_trial, TrialResult, TrialSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-size worker pool for trial sweeps.
+pub struct Campaign {
+    threads: usize,
+}
+
+impl Campaign {
+    /// Pool sized from `FP_THREADS`, or the machine's available parallelism
+    /// when the variable is unset or unparsable.
+    pub fn from_env() -> Campaign {
+        let threads = std::env::var("FP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Campaign::with_threads(threads)
+    }
+
+    /// Pool of exactly `threads` workers (0 is clamped to 1).
+    pub fn with_threads(threads: usize) -> Campaign {
+        Campaign {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker count this campaign will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every spec, returning results in input order.
+    pub fn run(&self, specs: &[TrialSpec]) -> Vec<TrialResult> {
+        self.map(specs, run_trial)
+    }
+
+    /// Apply `f` to every item on the pool, returning outputs in input
+    /// order. Items are claimed through a shared atomic cursor, so workers
+    /// self-balance across uneven trial costs; a panicking worker is
+    /// propagated after the scope joins.
+    pub fn map<I, O, F>(&self, items: &[I], f: F) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(&I) -> O + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, O)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            done.push((i, f(&items[i])));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        let mut slots: Vec<Option<O>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        for part in parts {
+            for (i, v) in part {
+                debug_assert!(slots[i].is_none(), "index {i} produced twice");
+                slots[i] = Some(v);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|o| o.expect("work cursor covers every index"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = Campaign::with_threads(4).map(&items, |&x| x * x);
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn map_handles_fewer_items_than_workers() {
+        let out = Campaign::with_threads(8).map(&[5u32], |&x| x + 1);
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn map_on_empty_input() {
+        let out = Campaign::with_threads(4).map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Campaign::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 3 exploded")]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..8).collect();
+        Campaign::with_threads(4).map(&items, |&i| {
+            if i == 3 {
+                panic!("trial {i} exploded");
+            }
+            i
+        });
+    }
+}

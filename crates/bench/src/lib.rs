@@ -19,7 +19,13 @@
 //!
 //! Every binary prints a human-readable table and writes machine-readable
 //! JSON rows under `results/`. Set `FP_QUICK=1` for reduced sweeps (used by
-//! smoke tests); absolute runtimes target a single core.
+//! smoke tests). Sweeps run their trials on a [`Campaign`] worker pool —
+//! `FP_THREADS` sets the pool size (default: all cores) without changing a
+//! byte of the output.
+
+pub mod campaign;
+
+pub use campaign::Campaign;
 
 use serde::Serialize;
 use std::io::Write;

@@ -1,0 +1,90 @@
+//! Campaign determinism regression tests: the worker-pool size must never
+//! change a byte of a sweep's output.
+
+use flowpulse::prelude::*;
+use fp_bench::Campaign;
+use serde::Serialize;
+
+/// The fields the fig binaries derive their JSON rows from.
+#[derive(Serialize)]
+struct Row {
+    seed: u64,
+    detected: bool,
+    false_alarm: bool,
+    devs: Vec<(u32, f64)>,
+}
+
+fn sweep() -> Vec<TrialSpec> {
+    let base = TrialSpec {
+        leaves: 4,
+        spines: 2,
+        bytes_per_node: 2 * 1024 * 1024,
+        iterations: 2,
+        ..Default::default()
+    };
+    let mut specs = Vec::new();
+    for s in [1u64, 2] {
+        specs.push(TrialSpec {
+            seed: s,
+            ..base.clone()
+        });
+    }
+    for s in [3u64, 4] {
+        specs.push(TrialSpec {
+            seed: s,
+            fault: Some(FaultSpec {
+                kind: InjectedFault::Drop { rate: 0.03 },
+                at_iter: 1,
+                heal_at_iter: None,
+                bidirectional: false,
+            }),
+            ..base.clone()
+        });
+    }
+    specs
+}
+
+fn serialize_rows(specs: &[TrialSpec], results: &[TrialResult]) -> String {
+    let rows: Vec<Row> = specs
+        .iter()
+        .zip(results)
+        .map(|(s, r)| Row {
+            seed: s.seed,
+            detected: r.detected,
+            false_alarm: r.false_alarm,
+            devs: r.iter_max_dev.clone(),
+        })
+        .collect();
+    serde_json::to_string_pretty(&rows).expect("serialize rows")
+}
+
+#[test]
+fn campaign_rows_are_byte_identical_across_thread_counts() {
+    let specs = sweep();
+    let serial = Campaign::with_threads(1).run(&specs);
+    let parallel = Campaign::with_threads(4).run(&specs);
+    assert_eq!(serial.len(), specs.len());
+    assert_eq!(
+        serialize_rows(&specs, &serial),
+        serialize_rows(&specs, &parallel),
+        "FP_THREADS must not change output bytes"
+    );
+    // Spot-check the raw per-iteration deviations too, not just the rows.
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.iter_max_dev, b.iter_max_dev);
+        assert_eq!(a.fault_port, b.fault_port);
+        assert_eq!(a.stats.events, b.stats.events);
+    }
+}
+
+#[test]
+fn fp_threads_env_sets_pool_size() {
+    // This is the only test in this binary touching FP_THREADS, so the
+    // process-global env mutation cannot race another test.
+    std::env::set_var("FP_THREADS", "3");
+    assert_eq!(Campaign::from_env().threads(), 3);
+    std::env::set_var("FP_THREADS", "not-a-number");
+    assert!(Campaign::from_env().threads() >= 1, "falls back to cores");
+    std::env::remove_var("FP_THREADS");
+    assert!(Campaign::from_env().threads() >= 1);
+}

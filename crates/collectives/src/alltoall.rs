@@ -73,9 +73,7 @@ pub fn single_nonlocal_subset(sched: &Schedule, host_leaf: &[u32]) -> Vec<u32> {
         let t = sched
             .transfers
             .iter()
-            .position(|t| {
-                host_leaf[t.src.idx()] == l && host_leaf[t.dst.idx()] == succ
-            })
+            .position(|t| host_leaf[t.src.idx()] == l && host_leaf[t.dst.idx()] == succ)
             .unwrap_or_else(|| panic!("no transfer from leaf {l} to leaf {succ}"));
         picked.push(t as u32);
     }

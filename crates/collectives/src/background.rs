@@ -58,7 +58,11 @@ impl BackgroundTraffic {
     /// New generator.
     pub fn new(cfg: BackgroundConfig) -> Self {
         let rng = SmallRng::seed_from_u64(cfg.seed);
-        BackgroundTraffic { cfg, rng, posted: 0 }
+        BackgroundTraffic {
+            cfg,
+            rng,
+            posted: 0,
+        }
     }
 
     fn exp_interval(&mut self) -> SimDuration {

@@ -18,7 +18,10 @@ pub struct DemandMatrix {
 impl DemandMatrix {
     /// Zero demand among `n` hosts.
     pub fn new(n: usize) -> Self {
-        DemandMatrix { n, d: vec![0; n * n] }
+        DemandMatrix {
+            n,
+            d: vec![0; n * n],
+        }
     }
 
     /// Number of hosts.
@@ -45,9 +48,11 @@ impl DemandMatrix {
     /// Iterate all non-zero `(src, dst, bytes)` entries.
     pub fn pairs(&self) -> impl Iterator<Item = (HostId, HostId, u64)> + '_ {
         let n = self.n;
-        self.d.iter().enumerate().filter_map(move |(i, &b)| {
-            (b > 0).then(|| (HostId((i / n) as u32), HostId((i % n) as u32), b))
-        })
+        self.d
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b > 0)
+            .map(move |(i, &b)| (HostId((i / n) as u32), HostId((i % n) as u32), b))
     }
 
     /// Total bytes destined to `dst`.

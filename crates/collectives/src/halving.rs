@@ -16,16 +16,15 @@ pub fn halving_doubling_allreduce(nodes: &[HostId], bytes_per_node: u64) -> Sche
     let n = nodes.len();
     assert!(n >= 2 && n.is_power_of_two(), "need power-of-two nodes");
     assert!(
-        bytes_per_node % n as u64 == 0,
+        bytes_per_node.is_multiple_of(n as u64),
         "bytes_per_node must divide evenly for halving-doubling"
     );
     let stages = n.trailing_zeros();
     let mut transfers = Vec::with_capacity(2 * stages as usize * n);
     let mut deps = Vec::with_capacity(transfers.capacity());
-    let mut step = 0u32;
     // Halving: k = 0 .. stages; doubling: k = stages-1 .. 0.
     let ks: Vec<u32> = (0..stages).chain((0..stages).rev()).collect();
-    for &k in &ks {
+    for (step, &k) in (0u32..).zip(&ks) {
         let bytes = bytes_per_node >> (k + 1);
         for (i, &src) in nodes.iter().enumerate() {
             let dst = nodes[i ^ (1usize << k)];
@@ -45,7 +44,6 @@ pub fn halving_doubling_allreduce(nodes: &[HostId], bytes_per_node: u64) -> Sche
                 Some((step - 1) * n as u32 + prev_partner as u32)
             });
         }
-        step += 1;
     }
     Schedule {
         name: "halving-doubling-allreduce".to_string(),

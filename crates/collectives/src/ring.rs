@@ -40,13 +40,9 @@ fn ring_schedule(
                 let dst = nodes[(i + 1) % n];
                 let c = match phase {
                     // Reduce-scatter stage s: node i forwards chunk (i − s).
-                    RingPhase::ReduceScatter => {
-                        (i as u64 + n as u64 - (s % n as u64)) % n as u64
-                    }
+                    RingPhase::ReduceScatter => (i as u64 + n as u64 - (s % n as u64)) % n as u64,
                     // All-gather stage s: node i forwards chunk (i + 1 − s).
-                    RingPhase::AllGather => {
-                        (i as u64 + 1 + n as u64 - (s % n as u64)) % n as u64
-                    }
+                    RingPhase::AllGather => (i as u64 + 1 + n as u64 - (s % n as u64)) % n as u64,
                 };
                 transfers.push(Transfer {
                     src,

@@ -100,6 +100,10 @@ pub struct CollectiveRunner {
     iter: u32,
     outstanding: u32,
     flow_map: HashMap<FlowId, u32>,
+    /// Reusable buffer for the transfers unblocked by one completion
+    /// (avoids a heap allocation per completed transfer, mirroring the
+    /// simulator's `scratch_cands` pattern).
+    scratch_unblocked: Vec<u32>,
 
     /// Scheduled start time of each iteration (before jitter).
     pub iter_started: Vec<SimTime>,
@@ -135,6 +139,7 @@ impl CollectiveRunner {
             iter: 0,
             outstanding: 0,
             flow_map: HashMap::new(),
+            scratch_unblocked: Vec::new(),
             iter_started: Vec::new(),
             iter_finished: Vec::new(),
             failed_transfers: 0,
@@ -187,10 +192,13 @@ impl CollectiveRunner {
         }
         self.outstanding = self.sched.transfers.len() as u32;
         self.iter_started.push(base);
-        let delays = self.cfg.jitter.sample(self.sched.nodes.len(), &mut self.rng);
+        let delays = self
+            .cfg
+            .jitter
+            .sample(self.sched.nodes.len(), &mut self.rng);
         // Roots fire at the iteration start plus their sender's jitter.
-        let roots = self.roots.clone();
-        for r in roots {
+        // Nothing here needs `&mut self`, so iterate in place.
+        for &r in &self.roots {
             let src = self.sched.transfers[r as usize].src;
             let d = delays[self.node_of[&src]];
             sim.schedule_wake(base + d, src, self.token(r));
@@ -231,10 +239,13 @@ impl Application for CollectiveRunner {
             return; // not our flow (multi-job fabric)
         };
         self.outstanding -= 1;
-        let unblocked = self.children[t as usize].clone();
-        for c in unblocked {
+        let mut unblocked = std::mem::take(&mut self.scratch_unblocked);
+        unblocked.clear();
+        unblocked.extend_from_slice(&self.children[t as usize]);
+        for &c in &unblocked {
             self.post_transfer(sim, c);
         }
+        self.scratch_unblocked = unblocked;
         if self.outstanding == 0 {
             let now = sim.now();
             self.iter_finished.push(now);
@@ -349,8 +360,10 @@ mod tests {
                 spines: 4,
                 ..Default::default()
             });
-            let mut cfg_s = SimConfig::default();
-            cfg_s.spray = policy;
+            let cfg_s = SimConfig {
+                spray: policy,
+                ..Default::default()
+            };
             let mut sim = Simulator::new(topo, cfg_s, 99);
             let sched = ring_allreduce(&hosts(8), bytes);
             let cfg = RunnerConfig {

@@ -90,9 +90,8 @@ impl<'a> AnalyticalModel<'a> {
         let three = self.topo.is_three_level();
         let mut loads = PortLoads::zeros(nl, nv);
         let mut by_src = PortSrcLoads::zeros(nl, nv);
-        let mut agg_loads = three.then(|| {
-            PortLoads::zeros(self.topo.n_aggs(), self.topo.cores_per_group as usize)
-        });
+        let mut agg_loads =
+            three.then(|| PortLoads::zeros(self.topo.n_aggs(), self.topo.cores_per_group as usize));
         let mut unroutable = 0u64;
         for (src, dst, d) in demand.pairs() {
             let src_leaf = self.topo.leaf_of(src);

@@ -197,7 +197,9 @@ pub fn sweep_link_counters(sim: &Simulator, cfg: &CounterSweepConfig) -> Counter
     for i in 0..n {
         let id = fp_netsim::ids::LinkId(i as u32);
         let l = sim.link(id);
-        let missing = l.txed_pkts.saturating_sub(l.delivered_pkts + l.queued_pkts() as u64);
+        let missing = l
+            .txed_pkts
+            .saturating_sub(l.delivered_pkts + l.queued_pkts() as u64);
         if missing >= cfg.min_missing_pkts {
             suspects.push((i as u32, missing));
         }

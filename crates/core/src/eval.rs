@@ -184,6 +184,15 @@ pub struct TrialResult {
     pub observed_by_src: Vec<PortSrcLoads>,
 }
 
+// `fp-bench` campaigns fan trials out across worker threads; this fails to
+// compile if `TrialSpec` or `TrialResult` ever grows a field that is not
+// thread-safe (e.g. an `Rc` or interior-mutable cache).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TrialSpec>();
+    assert_send_sync::<TrialResult>();
+};
+
 /// Build the collective schedule for a spec.
 pub fn build_schedule(spec: &TrialSpec) -> Schedule {
     let n = (spec.leaves * spec.hosts_per_leaf) as usize;
@@ -203,6 +212,9 @@ pub fn build_schedule(spec: &TrialSpec) -> Schedule {
     }
 }
 
+/// A `(leaf, vspine)` cable endpoint pair.
+type Cable = (u32, u32);
+
 /// Deterministically choose `count` distinct pre-existing fault cables plus
 /// (optionally) the injected-fault cable, all distinct, never taking a
 /// leaf's last uplink.
@@ -211,14 +223,14 @@ fn choose_cables(
     rng: &mut SmallRng,
     count: u32,
     want_fault: bool,
-) -> (Vec<(u32, u32)>, Option<(u32, u32)>) {
+) -> (Vec<Cable>, Option<Cable>) {
     let nv = spec.spines * spec.parallel_links;
     let mut used: std::collections::HashSet<(u32, u32)> = Default::default();
     let mut per_leaf = vec![0u32; spec.leaves as usize];
     let mut pre = Vec::new();
     let pick = |rng: &mut SmallRng,
-                    used: &mut std::collections::HashSet<(u32, u32)>,
-                    per_leaf: &mut [u32]| {
+                used: &mut std::collections::HashSet<(u32, u32)>,
+                per_leaf: &mut [u32]| {
         // Bounded rejection sampling: placements that would take a leaf's
         // last uplink are rejected; an infeasible request (more cables than
         // the fabric can lose) fails loudly instead of spinning.
@@ -274,16 +286,13 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     // of the collective runs unmeasured. Demand models the subset only.
     let measured = match spec.collective {
         CollectiveKind::AllToAll => {
-            let subset =
-                fp_collectives::alltoall::single_nonlocal_subset(&sched, &topo.host_leaf);
+            let subset = fp_collectives::alltoall::single_nonlocal_subset(&sched, &topo.host_leaf);
             Some(subset)
         }
         _ => None,
     };
     let demand = match &measured {
-        Some(subset) => {
-            fp_collectives::alltoall::demand_of_subset(&sched, subset, topo.n_hosts())
-        }
+        Some(subset) => fp_collectives::alltoall::demand_of_subset(&sched, subset, topo.n_hosts()),
         None => sched.demand(topo.n_hosts()),
     };
 
@@ -466,8 +475,7 @@ impl Rates {
 
     /// Tally one trial's iterations at the trial's own threshold.
     pub fn add_trial(&mut self, r: &TrialResult) {
-        let alarmed: std::collections::HashSet<u32> =
-            r.alarms.iter().map(|a| a.iter).collect();
+        let alarmed: std::collections::HashSet<u32> = r.alarms.iter().map(|a| a.iter).collect();
         for &(iter, _) in &r.iter_max_dev {
             let faulty = r.is_faulty_iter(iter);
             match (faulty, alarmed.contains(&iter)) {

@@ -172,7 +172,7 @@ mod tests {
         // failed link must be remote (L1–S1).
         let e = uniform_expected();
         let mut o = e.clone();
-        o.bytes[(2 * 2 + 1) * 3 + 0] = 50.0; // only sender 0 short
+        o.bytes[(2 * 2 + 1) * 3] = 50.0; // only sender 0 short
         let l = Localizer::default();
         assert_eq!(
             l.localize_port(&e, &o, 2, 1),

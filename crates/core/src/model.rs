@@ -149,7 +149,7 @@ impl PortSrcLoads {
     /// Convert from in-switch counters.
     pub fn from_counters(c: &IterCounters) -> Self {
         let rows = c.first_seen.len();
-        let nv = if rows > 0 { c.bytes.len() / rows } else { 0 };
+        let nv = c.bytes.len().checked_div(rows).unwrap_or(0);
         let n_src = if c.bytes.is_empty() {
             0
         } else {
@@ -171,9 +171,8 @@ impl PortSrcLoads {
 
     /// Add bytes.
     pub fn add(&mut self, leaf: u32, vspine: u32, src_leaf: u32, bytes: f64) {
-        self.bytes
-            [(leaf as usize * self.n_vspines + vspine as usize) * self.n_src + src_leaf as usize] +=
-            bytes;
+        self.bytes[(leaf as usize * self.n_vspines + vspine as usize) * self.n_src
+            + src_leaf as usize] += bytes;
     }
 
     /// Collapse the per-sender axis into plain [`PortLoads`].

@@ -118,7 +118,11 @@ mod tests {
         // Fig. 2's claim: analytical ≈ simulation. Adaptive spraying tracks
         // the ideal split to within a fraction of a percent.
         let dev = ana.loads.max_rel_dev(&sim_loads, 1.0);
-        assert!(dev < 0.005, "analytical-vs-sim deviation {:.4}%", dev * 100.0);
+        assert!(
+            dev < 0.005,
+            "analytical-vs-sim deviation {:.4}%",
+            dev * 100.0
+        );
     }
 
     #[test]
@@ -147,10 +151,12 @@ mod tests {
         let sched = ring_allreduce(&hosts, 1024 * 1024);
         let mut m = SimulationModel::new(SimConfig::default());
         let bad = t.downlink(2, 3);
-        m.known_gray.push((bad, FaultKind::SilentDrop { rate: 0.2 }));
+        m.known_gray
+            .push((bad, FaultKind::SilentDrop { rate: 0.2 }));
         let (loads, _) = m.predict(&t, &[], &sched, 1);
-        let clean =
-            SimulationModel::new(SimConfig::default()).predict(&t, &[], &sched, 1).0;
+        let clean = SimulationModel::new(SimConfig::default())
+            .predict(&t, &[], &sched, 1)
+            .0;
         // Port (leaf 3, vspine 2) sees visibly less than in the clean run.
         assert!(loads.get(3, 2) < clean.get(3, 2) * 0.9);
     }

@@ -122,6 +122,9 @@ mod tests {
     }
 
     #[test]
+    // Some probes set a field from the default's own values, so the
+    // mutate-one-field pattern is clearer than struct-update syntax here.
+    #[allow(clippy::field_reassign_with_default)]
     fn rejects_bad_configs() {
         let mut c = SimConfig::default();
         c.mtu = 0;

@@ -93,12 +93,23 @@ impl IterCounters {
 }
 
 /// All iteration counters of a run, keyed by `(job, iter)`.
+///
+/// Layout is optimized for the per-packet hot path ([`Self::record`]):
+/// counters live in a dense `Vec` with a `HashMap` index on the side, and
+/// the most recently touched slot is cached. Tagged packets of the same
+/// collective iteration arrive in long runs, so almost every record hits
+/// the cache and touches neither the hash nor the index.
 #[derive(Clone, Debug)]
 pub struct CounterStore {
     n_rows: usize,
     n_vspines: usize,
     n_src: usize,
-    iters: HashMap<(u32, u32), IterCounters>,
+    /// Dense storage in first-recorded order.
+    entries: Vec<((u32, u32), IterCounters)>,
+    /// `(job, iter)` → index into `entries`.
+    index: HashMap<(u32, u32), u32>,
+    /// Most recently recorded entry (`u32::MAX` = none yet).
+    last: u32,
 }
 
 impl CounterStore {
@@ -116,7 +127,9 @@ impl CounterStore {
             n_rows,
             n_vspines,
             n_src,
-            iters: HashMap::new(),
+            entries: Vec::new(),
+            index: HashMap::new(),
+            last: u32::MAX,
         }
     }
 
@@ -131,17 +144,32 @@ impl CounterStore {
         bytes: u64,
         now: SimTime,
     ) {
-        let n_rows = self.n_rows;
-        let n_vspines = self.n_vspines;
-        let n_src = self.n_src;
-        let c = self
-            .iters
-            .entry((tag.job, tag.iter))
-            .or_insert_with(|| IterCounters::new(n_rows, n_vspines, n_src));
-        let pi = leaf as usize * n_vspines + vspine as usize;
+        let key = (tag.job, tag.iter);
+        let i = match self.entries.get(self.last as usize) {
+            // Fast path: same (job, iter) as the previous packet.
+            Some((k, _)) if *k == key => self.last as usize,
+            _ => {
+                let i = match self.index.get(&key) {
+                    Some(&i) => i as usize,
+                    None => {
+                        let i = self.entries.len();
+                        self.entries.push((
+                            key,
+                            IterCounters::new(self.n_rows, self.n_vspines, self.n_src),
+                        ));
+                        self.index.insert(key, i as u32);
+                        i
+                    }
+                };
+                self.last = i as u32;
+                i
+            }
+        };
+        let c = &mut self.entries[i].1;
+        let pi = leaf as usize * self.n_vspines + vspine as usize;
         c.bytes[pi] += bytes;
         c.pkts[pi] += 1;
-        c.by_src[pi * n_src + src_leaf as usize] += bytes;
+        c.by_src[pi * self.n_src + src_leaf as usize] += bytes;
         let fs = &mut c.first_seen[leaf as usize];
         if *fs == u64::MAX {
             *fs = now.as_ns();
@@ -151,12 +179,14 @@ impl CounterStore {
 
     /// Counters for one `(job, iter)`, if any packet was recorded.
     pub fn get(&self, job: u32, iter: u32) -> Option<&IterCounters> {
-        self.iters.get(&(job, iter))
+        self.index
+            .get(&(job, iter))
+            .map(|&i| &self.entries[i as usize].1)
     }
 
     /// All `(job, iter)` keys, sorted.
     pub fn keys(&self) -> Vec<(u32, u32)> {
-        let mut k: Vec<_> = self.iters.keys().copied().collect();
+        let mut k: Vec<_> = self.entries.iter().map(|(k, _)| *k).collect();
         k.sort_unstable();
         k
     }
@@ -164,10 +194,10 @@ impl CounterStore {
     /// Iterations recorded for `job`, sorted.
     pub fn iters_of(&self, job: u32) -> Vec<u32> {
         let mut k: Vec<u32> = self
-            .iters
-            .keys()
-            .filter(|(j, _)| *j == job)
-            .map(|&(_, i)| i)
+            .entries
+            .iter()
+            .filter(|((j, _), _)| *j == job)
+            .map(|&((_, i), _)| i)
             .collect();
         k.sort_unstable();
         k
@@ -213,9 +243,30 @@ mod tests {
     #[test]
     fn iterations_are_separate() {
         let mut s = CounterStore::new(2, 2);
-        s.record(0, 0, CollectiveTag { job: 1, iter: 0 }, 1, 10, SimTime::ZERO);
-        s.record(0, 0, CollectiveTag { job: 1, iter: 1 }, 1, 20, SimTime::ZERO);
-        s.record(0, 0, CollectiveTag { job: 2, iter: 0 }, 1, 30, SimTime::ZERO);
+        s.record(
+            0,
+            0,
+            CollectiveTag { job: 1, iter: 0 },
+            1,
+            10,
+            SimTime::ZERO,
+        );
+        s.record(
+            0,
+            0,
+            CollectiveTag { job: 1, iter: 1 },
+            1,
+            20,
+            SimTime::ZERO,
+        );
+        s.record(
+            0,
+            0,
+            CollectiveTag { job: 2, iter: 0 },
+            1,
+            30,
+            SimTime::ZERO,
+        );
         assert_eq!(s.get(1, 0).unwrap().port_bytes(0, 0), 10);
         assert_eq!(s.get(1, 1).unwrap().port_bytes(0, 0), 20);
         assert_eq!(s.get(2, 0).unwrap().port_bytes(0, 0), 30);

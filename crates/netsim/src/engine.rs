@@ -27,6 +27,12 @@ pub enum EventKind {
         pkt: Packet,
     },
     /// Retransmission timer for one segment.
+    ///
+    /// RTO events are *lazily cancelled*: when a segment is acknowledged the
+    /// sender bumps its per-segment generation counter instead of searching
+    /// the heap, and a popped timer whose `gen` no longer matches is
+    /// discarded without being dispatched (it never counts as a processed
+    /// event and never advances the clock).
     Rto {
         /// Owning flow.
         flow: FlowId,
@@ -34,6 +40,9 @@ pub enum EventKind {
         seq: u32,
         /// How many times this segment has been retransmitted already.
         attempt: u32,
+        /// Generation of the segment's timer at arming time; compared
+        /// against the flow's current generation at pop time.
+        gen: u32,
     },
     /// Application wake-up (workload-scheduled).
     Wake {
@@ -93,10 +102,16 @@ impl Ord for HeapEntry {
 }
 
 /// Deterministic future-event list.
+///
+/// The head timestamp is mirrored into a plain field so the event loop's
+/// peek-then-pop pattern reads one word instead of dereferencing the heap
+/// root on every iteration.
 #[derive(Default)]
 pub struct EventHeap {
     heap: BinaryHeap<HeapEntry>,
     seq: u64,
+    /// Cached copy of `heap.peek().at`; `None` iff the heap is empty.
+    next_at: Option<SimTime>,
 }
 
 impl EventHeap {
@@ -109,17 +124,33 @@ impl EventHeap {
     pub fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
+        if self.next_at.is_none_or(|t| at < t) {
+            self.next_at = Some(at);
+        }
         self.heap.push(HeapEntry { at, seq, kind });
     }
 
     /// Pop the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
-        self.heap.pop().map(|e| (e.at, e.kind))
+        let popped = self.heap.pop().map(|e| (e.at, e.kind));
+        self.next_at = self.heap.peek().map(|e| e.at);
+        popped
+    }
+
+    /// Pop the earliest event if it is due at or before `horizon`.
+    /// Single-access fast path for the main event loop: the cached head
+    /// timestamp decides without touching the heap.
+    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, EventKind)> {
+        match self.next_at {
+            Some(t) if t <= horizon => self.pop(),
+            _ => None,
+        }
     }
 
     /// Timestamp of the next event without removing it.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.next_at
     }
 
     /// Number of pending events.
@@ -189,6 +220,39 @@ mod tests {
         h.pop();
         assert!(h.is_empty());
         assert_eq!(h.peek_time(), None);
+    }
+
+    #[test]
+    fn cached_peek_tracks_pushes_and_pops() {
+        let mut h = EventHeap::new();
+        assert_eq!(h.peek_time(), None);
+        let (t, k) = wake(50, 0);
+        h.push(t, k);
+        let (t, k) = wake(10, 1);
+        h.push(t, k);
+        let (t, k) = wake(30, 2);
+        h.push(t, k);
+        assert_eq!(h.peek_time(), Some(SimTime::from_ns(10)));
+        h.pop();
+        assert_eq!(h.peek_time(), Some(SimTime::from_ns(30)));
+        h.pop();
+        h.pop();
+        assert_eq!(h.peek_time(), None);
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_horizon() {
+        let mut h = EventHeap::new();
+        for (t, k) in [wake(10, 0), wake(20, 1), wake(30, 2)] {
+            h.push(t, k);
+        }
+        assert!(h.pop_at_or_before(SimTime::from_ns(5)).is_none());
+        let (at, _) = h.pop_at_or_before(SimTime::from_ns(20)).unwrap();
+        assert_eq!(at.as_ns(), 10);
+        let (at, _) = h.pop_at_or_before(SimTime::from_ns(20)).unwrap();
+        assert_eq!(at.as_ns(), 20);
+        assert!(h.pop_at_or_before(SimTime::from_ns(20)).is_none());
+        assert_eq!(h.len(), 1);
     }
 
     #[test]

@@ -150,14 +150,14 @@ pub fn flap_schedule(
             bidirectional,
             action: FaultAction::Set(kind),
         });
-        t = t + on;
+        t += on;
         out.push(FaultEvent {
             at: t,
             link,
             bidirectional,
             action: FaultAction::Clear,
         });
-        t = t + off;
+        t += off;
     }
     out
 }

@@ -190,11 +190,9 @@ impl Simulator {
             .map(|i| {
                 let (n_valid_up, n_valid_core, n_deficit) = match topo.switch_kind[i] {
                     SwitchKind::Leaf(_) => (topo.n_leaves(), 0, topo.n_vspines()),
-                    SwitchKind::Spine(_) if three_level => (
-                        0,
-                        topo.pods as usize,
-                        topo.cores_per_group as usize,
-                    ),
+                    SwitchKind::Spine(_) if three_level => {
+                        (0, topo.pods as usize, topo.cores_per_group as usize)
+                    }
                     SwitchKind::Spine(_) | SwitchKind::Core(_) => (0, 0, 0),
                 };
                 SwitchState {
@@ -294,7 +292,8 @@ impl Simulator {
     fn apply_fault_action(&mut self, link: LinkId, action: FaultAction) {
         match action {
             FaultAction::Set(kind) => {
-                self.trace.push(self.now, TraceEvent::FaultSet { link, kind });
+                self.trace
+                    .push(self.now, TraceEvent::FaultSet { link, kind });
                 if kind == FaultKind::AdminDown {
                     self.links[link.idx()].admin_up = false;
                     self.links[link.idx()].fault = None;
@@ -476,7 +475,7 @@ impl Simulator {
             if self.stats.events >= self.cfg.max_events {
                 break RunReason::EventLimit;
             }
-            let (at, kind) = self.heap.pop().expect("peeked");
+            let (at, kind) = self.heap.pop_at_or_before(horizon).expect("peeked");
             self.dispatch(at, kind);
         };
         RunSummary {
@@ -499,6 +498,17 @@ impl Simulator {
     }
 
     fn dispatch(&mut self, at: SimTime, kind: EventKind) {
+        // Lazy RTO cancellation: a timer whose segment was acknowledged (or
+        // whose flow failed) since arming is discarded here, before any
+        // event accounting — it does not advance the clock and does not
+        // count toward `stats.events` or the `max_events` guard. The heap
+        // strictly shrinks on a skip, so this cannot loop.
+        if let EventKind::Rto { flow, seq, gen, .. } = kind {
+            if self.rto_is_stale(flow, seq, gen) {
+                self.stats.rto_stale_skips += 1;
+                return;
+            }
+        }
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         self.stats.events += 1;
@@ -506,9 +516,7 @@ impl Simulator {
             EventKind::TxDone { link } => self.handle_tx_done(link),
             EventKind::Delivery { link, pkt } => self.handle_delivery(link, pkt),
             EventKind::Rto {
-                flow,
-                seq,
-                attempt,
+                flow, seq, attempt, ..
             } => self.handle_rto(flow, seq, attempt),
             EventKind::Wake { host, token } => {
                 self.with_app(|app, sim| app.on_wake(sim, host, token))
@@ -605,14 +613,11 @@ impl Simulator {
         let tau = self.cfg.spray_tau.as_ns();
         let s = &mut self.switches[sw.idx()];
         let v = vspine as usize;
-        if tau > 0 {
-            let now = self.now.as_ns();
-            let elapsed = now.saturating_sub(s.spray_deficit_at[v]);
-            let halvings = elapsed / tau;
-            if halvings > 0 {
-                s.spray_deficit[v] >>= halvings.min(63);
-                s.spray_deficit_at[v] += halvings * tau;
-            }
+        let elapsed = self.now.as_ns().saturating_sub(s.spray_deficit_at[v]);
+        let halvings = elapsed.checked_div(tau).unwrap_or(0);
+        if halvings > 0 {
+            s.spray_deficit[v] >>= halvings.min(63);
+            s.spray_deficit_at[v] += halvings * tau;
         }
         s.spray_deficit[v]
     }
@@ -690,12 +695,14 @@ impl Simulator {
                 self.hosts[h.idx()].active.push_back(fid);
             }
             self.stats.data_pkts_sent += 1;
+            let gen = self.flows[fid as usize].rto_gen[seq as usize];
             self.heap.push(
                 self.now + self.cfg.rto,
                 EventKind::Rto {
                     flow: fid,
                     seq,
                     attempt: 0,
+                    gen,
                 },
             );
             return Some(pkt);
@@ -811,33 +818,29 @@ impl Simulator {
         // FlowPulse counters: tagged data arriving at a monitored ingress —
         // spine→leaf ports at leaves, core→agg ports at 3-level aggs.
         match self.topo.links[in_link.idx()].class {
-            LinkClass::SpineDown { vspine, leaf } => {
-                if pkt.is_data() {
-                    if let Some(tag) = pkt.tag {
-                        self.counters.record(
-                            leaf,
-                            vspine,
-                            tag,
-                            pkt.src_leaf as u32,
-                            pkt.size as u64,
-                            self.now,
-                        );
-                    }
+            LinkClass::SpineDown { vspine, leaf } if pkt.is_data() => {
+                if let Some(tag) = pkt.tag {
+                    self.counters.record(
+                        leaf,
+                        vspine,
+                        tag,
+                        pkt.src_leaf as u32,
+                        pkt.size as u64,
+                        self.now,
+                    );
                 }
             }
-            LinkClass::CoreDown { core, agg } => {
-                if pkt.is_data() {
-                    if let Some(tag) = pkt.tag {
-                        let k = core % self.topo.cores_per_group.max(1);
-                        self.agg_counters.record(
-                            agg,
-                            k,
-                            tag,
-                            pkt.src_leaf as u32,
-                            pkt.size as u64,
-                            self.now,
-                        );
-                    }
+            LinkClass::CoreDown { core, agg } if pkt.is_data() => {
+                if let Some(tag) = pkt.tag {
+                    let k = core % self.topo.cores_per_group.max(1);
+                    self.agg_counters.record(
+                        agg,
+                        k,
+                        tag,
+                        pkt.src_leaf as u32,
+                        pkt.size as u64,
+                        self.now,
+                    );
                 }
             }
             _ => {}
@@ -1080,13 +1083,16 @@ impl Simulator {
             // Cumulative watermark first (heals any previously lost ACKs)…
             let cum = block.cum.min(f.npkts);
             while f.cum_acked < cum {
-                f.acked.set(f.cum_acked);
+                if f.acked.set(f.cum_acked) {
+                    // Newly acknowledged: lazily cancel the pending timer.
+                    f.rto_gen[f.cum_acked as usize] += 1;
+                }
                 f.cum_acked += 1;
             }
             // …then the selective block.
             for seq in block.seqs() {
-                if seq < f.npkts {
-                    f.acked.set(seq);
+                if seq < f.npkts && f.acked.set(seq) {
+                    f.rto_gen[seq as usize] += 1;
                 }
             }
             !was_done && f.fully_acked()
@@ -1096,8 +1102,17 @@ impl Simulator {
         }
     }
 
+    /// True if a popped RTO timer no longer matters: the flow already gave
+    /// up, the segment was acknowledged, or its generation was bumped
+    /// (which [`Self::receive_ack`] does on every fresh acknowledgement).
+    fn rto_is_stale(&self, flow: FlowId, seq: u32, gen: u32) -> bool {
+        let f = &self.flows[flow as usize];
+        f.failed || f.acked.get(seq) || f.rto_gen[seq as usize] != gen
+    }
+
     fn handle_rto(&mut self, flow: FlowId, seq: u32, attempt: u32) {
         {
+            // Defense in depth: `dispatch` already discards stale timers.
             let f = &self.flows[flow as usize];
             if f.failed || f.acked.get(seq) {
                 return;
@@ -1129,12 +1144,14 @@ impl Simulator {
         self.enqueue(self.topo.host_up[src.idx()], pkt);
         let exp = (attempt + 1).min(self.cfg.rto_backoff_cap);
         let backoff = self.cfg.rto.mul_f64(self.cfg.rto_backoff.powi(exp as i32));
+        let gen = self.flows[flow as usize].rto_gen[seq as usize];
         self.heap.push(
             self.now + backoff,
             EventKind::Rto {
                 flow,
                 seq,
                 attempt: attempt + 1,
+                gen,
             },
         );
     }
@@ -1241,7 +1258,11 @@ mod tests {
         let mut s = sim(11);
         // 10% drop on one spine->leaf downlink toward leaf 3.
         let bad = s.topo.downlink(0, 3);
-        s.apply_fault_now(bad, FaultAction::Set(FaultKind::SilentDrop { rate: 0.10 }), false);
+        s.apply_fault_now(
+            bad,
+            FaultAction::Set(FaultKind::SilentDrop { rate: 0.10 }),
+            false,
+        );
         let f = s.post_message(HostId(0), HostId(3), 2_000_000, None, Priority::MEASURED);
         let r = s.run();
         assert_eq!(r.reason, RunReason::Drained);
@@ -1403,9 +1424,73 @@ mod tests {
         let n = s
             .trace
             .records()
-            .filter(|(_, e)| matches!(e, TraceEvent::FaultSet { .. } | TraceEvent::FaultCleared { .. }))
+            .filter(|(_, e)| {
+                matches!(
+                    e,
+                    TraceEvent::FaultSet { .. } | TraceEvent::FaultCleared { .. }
+                )
+            })
             .count();
         assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn stale_rto_does_not_retransmit_or_advance_clock() {
+        // One tiny segment: its ACK lands long before the 5 µs RTO, so the
+        // armed timer must surface as a stale skip — no retransmission, no
+        // clock advance to the timer's expiry, no event counted for it.
+        let mut s = sim(59);
+        s.post_message(HostId(0), HostId(1), 1_000, None, Priority::MEASURED);
+        let r = s.run();
+        assert_eq!(r.reason, RunReason::Drained);
+        assert_eq!(s.stats.retransmits, 0);
+        assert_eq!(s.stats.rto_stale_skips, 1, "one armed timer, one skip");
+        assert!(
+            s.now() < SimTime::ZERO + s.cfg.rto,
+            "dead timer advanced the clock to {}",
+            s.now()
+        );
+    }
+
+    #[test]
+    fn clean_run_lazily_cancels_every_timer() {
+        let mut s = sim(61);
+        s.post_message(HostId(0), HostId(3), 1_000_000, None, Priority::MEASURED);
+        s.run();
+        let npkts = s.flows[0].npkts as u64;
+        assert_eq!(s.stats.retransmits, 0);
+        // Every segment armed exactly one timer and every one died stale.
+        assert_eq!(s.stats.rto_stale_skips, npkts);
+    }
+
+    #[test]
+    fn stale_skips_do_not_count_toward_event_budget() {
+        // Same drop-recovery scenario twice: the second run's event budget
+        // is exactly what the first consumed (+1 headroom for the >= guard).
+        // If stale RTO timers were charged as events — dead backoff chains
+        // growing `stats.events` — the rerun would hit the limit instead of
+        // draining.
+        let run = |max_events: u64| {
+            let mut s = sim(11);
+            s.cfg.max_events = max_events;
+            let bad = s.topo.downlink(0, 3);
+            s.apply_fault_now(
+                bad,
+                FaultAction::Set(FaultKind::SilentDrop { rate: 0.10 }),
+                false,
+            );
+            s.post_message(HostId(0), HostId(3), 500_000, None, Priority::MEASURED);
+            let r = s.run();
+            (r, s.stats.rto_stale_skips, s.stats.retransmits)
+        };
+        let (r1, skips, retx) = run(u64::MAX);
+        assert_eq!(r1.reason, RunReason::Drained);
+        assert!(retx > 0, "fault must have forced retransmissions");
+        assert!(skips > 0, "acked segments must leave stale timers behind");
+        let (r2, skips2, _) = run(r1.events + 1);
+        assert_eq!(r2.reason, RunReason::Drained);
+        assert_eq!(r2.events, r1.events, "runs must be identical");
+        assert_eq!(skips2, skips);
     }
 
     #[test]
@@ -1415,7 +1500,11 @@ mod tests {
         s.run();
         // ~977 data packets; with 8-way coalescing ACK count should sit well
         // below data count.
-        assert!(s.stats.acks_sent * 4 < s.stats.data_pkts_sent,
-            "acks={} data={}", s.stats.acks_sent, s.stats.data_pkts_sent);
+        assert!(
+            s.stats.acks_sent * 4 < s.stats.data_pkts_sent,
+            "acks={} data={}",
+            s.stats.acks_sent,
+            s.stats.data_pkts_sent
+        );
     }
 }

@@ -40,6 +40,10 @@ pub struct Stats {
     pub acks_sent: u64,
     /// Retransmitted data packets enqueued.
     pub retransmits: u64,
+    /// RTO timer events discarded by lazy cancellation (segment already
+    /// acknowledged or flow failed when the timer surfaced). Not included
+    /// in `events`.
+    pub rto_stale_skips: u64,
     /// Data packets delivered to their destination host (including dups).
     pub data_pkts_delivered: u64,
     /// Duplicate data packets delivered (already-received seq).

@@ -132,8 +132,12 @@ impl Add for SimDuration {
 
 impl Sub for SimDuration {
     type Output = SimDuration;
+    /// Durations cannot be negative, so subtraction saturates at zero.
+    /// Underflow is a logic error upstream; debug builds assert on it
+    /// instead of silently wrapping into a ~585-year duration.
     fn sub(self, other: SimDuration) -> SimDuration {
-        SimDuration(self.0 - other.0)
+        debug_assert!(self.0 >= other.0, "duration underflow: {self} - {other}");
+        SimDuration(self.0.saturating_sub(other.0))
     }
 }
 
@@ -176,6 +180,30 @@ mod tests {
         assert_eq!(t.since(SimTime::from_ns(500)).as_ns(), 2_500);
         // saturating: asking for time before an instant yields zero
         assert_eq!(SimTime::from_ns(5).since(SimTime::from_ns(9)).as_ns(), 0);
+    }
+
+    #[test]
+    fn duration_sub_works_when_in_range() {
+        let d = SimDuration::from_us(3) - SimDuration::from_us(1);
+        assert_eq!(d.as_ns(), 2_000);
+        assert_eq!(
+            SimDuration::from_ns(7) - SimDuration::from_ns(7),
+            SimDuration::ZERO
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "duration underflow")]
+    fn duration_sub_underflow_panics_in_debug() {
+        let _ = SimDuration::from_ns(1) - SimDuration::from_ns(2);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn duration_sub_saturates_in_release() {
+        let d = SimDuration::from_ns(1) - SimDuration::from_ns(2);
+        assert_eq!(d, SimDuration::ZERO);
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl FatTreeSpec {
     /// A full non-blocking fat tree built from switches of the given radix:
     /// `radix` leaves, `radix/2` spines (paper §6 "varying switch radix").
     pub fn from_radix(radix: u32) -> Self {
-        assert!(radix >= 2 && radix % 2 == 0, "radix must be even, ≥ 2");
+        assert!(
+            radix >= 2 && radix.is_multiple_of(2),
+            "radix must be even, ≥ 2"
+        );
         FatTreeSpec {
             leaves: radix,
             spines: radix / 2,
@@ -559,6 +562,9 @@ impl Topology {
         }
 
         // Agg–core links. Agg ports lp..lp+k; core ports 0..pods.
+        // `p`/`kk` double as port numbers and table indices, so a range loop
+        // reads better than iter_mut().enumerate() here.
+        #[allow(clippy::needless_range_loop)]
         for p in 0..pods {
             for a in 0..na {
                 let g = p * na + a;

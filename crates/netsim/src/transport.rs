@@ -49,6 +49,11 @@ pub struct FlowState {
     /// Highest cumulative-ACK watermark processed (sender side; avoids
     /// re-scanning the bitmap on every cumulative ACK).
     pub cum_acked: u32,
+    /// Per-segment retransmission-timer generation. Armed RTO events carry
+    /// the generation current at arming time; acknowledging a segment bumps
+    /// its generation, lazily cancelling any timer still in the heap
+    /// (checked at pop time, see [`crate::engine::EventKind::Rto`]).
+    pub rto_gen: Vec<u32>,
 
     // --- receiver side ---
     /// Segments received so far.
@@ -88,6 +93,7 @@ impl FlowState {
             failed: false,
             retx: 0,
             cum_acked: 0,
+            rto_gen: vec![0; npkts as usize],
             rcvd: BitSet::new(npkts),
             pending_ack: None,
             completed_at: None,

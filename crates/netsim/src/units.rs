@@ -46,7 +46,7 @@ impl Bandwidth {
 
 impl fmt::Display for Bandwidth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000_000 && self.0 % 1_000_000_000 == 0 {
+        if self.0 >= 1_000_000_000 && self.0.is_multiple_of(1_000_000_000) {
             write!(f, "{}Gbps", self.0 / 1_000_000_000)
         } else {
             write!(f, "{}bps", self.0)
@@ -89,7 +89,7 @@ mod tests {
         let bw = Bandwidth::from_gbps(100);
         let d = bw.ser_time(1_000_000);
         let b = bw.bytes_in(d);
-        assert!(b >= 1_000_000 && b < 1_000_100, "b={b}");
+        assert!((1_000_000..1_000_100).contains(&b), "b={b}");
     }
 
     #[test]

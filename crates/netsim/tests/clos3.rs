@@ -107,7 +107,13 @@ fn agg_level_counters_record_cross_pod_tags() {
     let t = Topology::clos3(spec());
     let mut sim = Simulator::new(t, SimConfig::default(), 5);
     let tag = CollectiveTag { job: 4, iter: 0 };
-    sim.post_message(HostId(0), HostId(5), 2_000_000, Some(tag), Priority::MEASURED);
+    sim.post_message(
+        HostId(0),
+        HostId(5),
+        2_000_000,
+        Some(tag),
+        Priority::MEASURED,
+    );
     sim.run();
     // Leaf-level counters at the destination leaf (leaf 5).
     let c = sim.counters.get(4, 0).unwrap();
@@ -119,7 +125,10 @@ fn agg_level_counters_record_cross_pod_tags() {
         .sum();
     assert_eq!(agg_total, 2_000_000);
     for g in [4u32, 5] {
-        assert!(ac.leaf_ports(g).iter().sum::<u64>() > 0, "agg {g} saw nothing");
+        assert!(
+            ac.leaf_ports(g).iter().sum::<u64>() > 0,
+            "agg {g} saw nothing"
+        );
     }
     // Source-pod aggs never *receive* from cores for this flow.
     for g in [0u32, 1, 2, 3] {
@@ -152,8 +161,18 @@ fn silent_core_fault_recovers_and_is_visible_in_agg_counters() {
     let mut sim = Simulator::new(t, SimConfig::default(), 9);
     let tag = CollectiveTag { job: 4, iter: 0 };
     let bad = sim.topo.core_downlink(0, 2); // silent 20% drop toward pod 2
-    sim.apply_fault_now(bad, FaultAction::Set(FaultKind::SilentDrop { rate: 0.2 }), false);
-    sim.post_message(HostId(0), HostId(5), 4_000_000, Some(tag), Priority::MEASURED);
+    sim.apply_fault_now(
+        bad,
+        FaultAction::Set(FaultKind::SilentDrop { rate: 0.2 }),
+        false,
+    );
+    sim.post_message(
+        HostId(0),
+        HostId(5),
+        4_000_000,
+        Some(tag),
+        Priority::MEASURED,
+    );
     sim.run();
     assert!(sim.all_flows_complete());
     assert!(sim.stats.silent_drops() > 0);
@@ -192,7 +211,13 @@ fn deterministic_across_identical_runs() {
         let t = Topology::clos3(spec());
         let mut sim = Simulator::new(t, SimConfig::default(), 11);
         let tag = CollectiveTag { job: 1, iter: 0 };
-        sim.post_message(HostId(1), HostId(4), 3_000_000, Some(tag), Priority::MEASURED);
+        sim.post_message(
+            HostId(1),
+            HostId(4),
+            3_000_000,
+            Some(tag),
+            Priority::MEASURED,
+        );
         sim.run();
         (
             sim.now().as_ns(),

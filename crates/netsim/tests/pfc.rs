@@ -116,7 +116,13 @@ fn pause_state_is_per_priority() {
     let mut sim = Simulator::new(topo, cfg, 23);
     let n = sim.topo.n_hosts() as u32;
     for src in 4..n {
-        sim.post_message(HostId(src), HostId(0), 1_500_000, None, Priority::BACKGROUND);
+        sim.post_message(
+            HostId(src),
+            HostId(0),
+            1_500_000,
+            None,
+            Priority::BACKGROUND,
+        );
     }
     let m = sim.post_message(HostId(5), HostId(1), 1_500_000, None, Priority::MEASURED);
     sim.run();

@@ -108,8 +108,7 @@ proptest! {
             SprayPolicy::Random,
         ];
         let topo = Topology::fat_tree(FatTreeSpec { leaves: 8, spines: 4, ..Default::default() });
-        let mut cfg = SimConfig::default();
-        cfg.spray = policies[policy_idx];
+        let cfg = SimConfig { spray: policies[policy_idx], ..Default::default() };
         let mut sim = Simulator::new(topo, cfg, seed);
         let f = sim.post_message(HostId(src), HostId(dst), bytes, None, Priority::MEASURED);
         sim.run();

@@ -46,8 +46,10 @@ fn many_tiny_flows_all_complete() {
 
 #[test]
 fn no_ack_coalescing_works_too() {
-    let mut cfg = SimConfig::default();
-    cfg.ack_coalesce = 1; // one ACK per data packet
+    let cfg = SimConfig {
+        ack_coalesce: 1, // one ACK per data packet
+        ..Default::default()
+    };
     let mut sim = Simulator::new(small(), cfg, 3);
     sim.post_message(HostId(1), HostId(2), 500_000, None, Priority::MEASURED);
     sim.run();
@@ -65,8 +67,10 @@ fn give_up_after_max_attempts_fires_failure() {
         spines: 1,
         ..Default::default()
     });
-    let mut cfg = SimConfig::default();
-    cfg.rto_max_attempts = 4;
+    let cfg = SimConfig {
+        rto_max_attempts: 4,
+        ..Default::default()
+    };
     let mut sim = Simulator::new(topo, cfg, 5);
     let bad = sim.topo.downlink(0, 1);
     sim.apply_fault_now(bad, FaultAction::Set(FaultKind::SilentBlackhole), false);
@@ -88,8 +92,10 @@ fn give_up_after_max_attempts_fires_failure() {
 fn wire_overhead_is_charged_on_the_wire_only() {
     // Counters and delivery totals are payload-only; link tx counters see
     // payload + overhead.
-    let mut cfg = SimConfig::default();
-    cfg.wire_overhead = 100;
+    let cfg = SimConfig {
+        wire_overhead: 100,
+        ..Default::default()
+    };
     let mut sim = Simulator::new(small(), cfg, 7);
     let tag = CollectiveTag { job: 1, iter: 0 };
     sim.post_message(HostId(0), HostId(2), 40_960, Some(tag), Priority::MEASURED);
@@ -129,8 +135,10 @@ fn flow_failure_notifies_application() {
         spines: 1,
         ..Default::default()
     });
-    let mut cfg = SimConfig::default();
-    cfg.rto_max_attempts = 3;
+    let cfg = SimConfig {
+        rto_max_attempts: 3,
+        ..Default::default()
+    };
     let mut sim = Simulator::new(topo, cfg, 11);
     let failed = Rc::new(Cell::new(0));
     sim.set_app(Box::new(Watch {

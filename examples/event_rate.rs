@@ -1,0 +1,47 @@
+//! Event-throughput probe: one ring-allreduce iteration on small fabrics,
+//! reporting engine events per wall-clock second. Used to record the
+//! before/after numbers quoted in DESIGN.md; run with
+//! `cargo run --release --example event_rate`.
+
+use fp_collectives::prelude::*;
+use fp_netsim::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    for leaves in [8u32, 16] {
+        let hosts: Vec<HostId> = (0..leaves).map(HostId).collect();
+        let bytes = 2u64 * 1024 * 1024;
+        // Warm-up run, then the timed ones.
+        let mut events = 0u64;
+        let mut stale = 0u64;
+        let reps = 5u32;
+        let mut best = f64::INFINITY;
+        for rep in 0..=reps {
+            let topo = Topology::fat_tree(FatTreeSpec {
+                leaves,
+                spines: leaves / 2,
+                ..Default::default()
+            });
+            let mut sim = Simulator::new(topo, SimConfig::default(), 1);
+            sim.set_app(Box::new(CollectiveRunner::new(
+                ring_allreduce(&hosts, bytes),
+                RunnerConfig::default(),
+            )));
+            let t = Instant::now();
+            sim.run();
+            let dt = t.elapsed().as_secs_f64();
+            if rep > 0 {
+                best = best.min(dt);
+            }
+            events = sim.stats.events;
+            stale = sim.stats.rto_stale_skips;
+        }
+        println!(
+            "ring_allreduce {leaves}x{}: {events} events, {stale} stale RTO skips, \
+             best {:.1} ms, {:.2} Mevents/s",
+            leaves / 2,
+            best * 1e3,
+            events as f64 / best / 1e6
+        );
+    }
+}

@@ -93,8 +93,9 @@ fn main() {
             false_alarms
         );
     }
-    println!(
-        "\nhunt complete: {total_detected}/{total} faults detected across the campaign"
+    println!("\nhunt complete: {total_detected}/{total} faults detected across the campaign");
+    assert_eq!(
+        total_detected, total,
+        "every injected fault should be caught"
     );
-    assert_eq!(total_detected, total, "every injected fault should be caught");
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, and a campaign-determinism smoke
+# run of every Campaign-ported sweep binary (FP_QUICK, 1 vs 4 threads must
+# produce byte-identical JSON).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+BINARIES=(fig5a fig5b fig5c preexisting ablate_spray ablate_jitter)
+t1="$(mktemp -d)"
+t4="$(mktemp -d)"
+trap 'rm -rf "$t1" "$t4"' EXIT
+
+echo "==> FP_QUICK smoke: ${BINARIES[*]} at FP_THREADS=1 and FP_THREADS=4"
+for bin in "${BINARIES[@]}"; do
+    FP_QUICK=1 FP_THREADS=1 FP_RESULTS="$t1" \
+        cargo run --release -q -p fp-bench --bin "$bin" >/dev/null
+    FP_QUICK=1 FP_THREADS=4 FP_RESULTS="$t4" \
+        cargo run --release -q -p fp-bench --bin "$bin" >/dev/null
+    cmp "$t1/$bin.json" "$t4/$bin.json"
+    echo "    $bin: JSON byte-identical across thread counts"
+done
+
+echo "verify: OK"

@@ -121,14 +121,16 @@ fn baseline_comparison_on_one_scenario() {
 #[test]
 fn trial_spec_round_trips_through_json() {
     // The `trial` binary's contract: TrialSpec is fully serializable.
-    let mut spec = TrialSpec::default();
-    spec.fault = Some(FaultSpec {
-        kind: InjectedFault::Drop { rate: 0.015 },
-        at_iter: 1,
-        heal_at_iter: Some(3),
-        bidirectional: true,
-    });
-    spec.model = ModelKind::Learned { warmup: 2 };
+    let spec = TrialSpec {
+        fault: Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.015 },
+            at_iter: 1,
+            heal_at_iter: Some(3),
+            bidirectional: true,
+        }),
+        model: ModelKind::Learned { warmup: 2 },
+        ..Default::default()
+    };
     let json = serde_json::to_string_pretty(&spec).unwrap();
     let back: TrialSpec = serde_json::from_str(&json).unwrap();
     assert_eq!(back, spec);

@@ -89,11 +89,7 @@ fn silent_core_fault_caught_by_agg_monitor_and_localized_to_slot() {
     );
 
     // Agg-tier monitor.
-    let mut agg_mon = Monitor::new_fixed(
-        1,
-        Detector::new(0.01),
-        pred.agg_loads.clone().unwrap(),
-    );
+    let mut agg_mon = Monitor::new_fixed(1, Detector::new(0.01), pred.agg_loads.clone().unwrap());
     agg_mon.scan(&sim.agg_counters, true);
     assert!(
         agg_mon.alarms.iter().all(|a| a.iter >= 1),
@@ -129,7 +125,11 @@ fn known_core_fault_is_absorbed_by_the_model() {
 
     let mut sim = Simulator::new(topo.clone(), SimConfig::default(), 5);
     for l in down {
-        sim.apply_fault_now(l, fp_netsim::fault::FaultAction::Set(FaultKind::AdminDown), false);
+        sim.apply_fault_now(
+            l,
+            fp_netsim::fault::FaultAction::Set(FaultKind::AdminDown),
+            false,
+        );
     }
     let sched = ring_allreduce(&hosts, 4 * 1024 * 1024);
     sim.set_app(Box::new(CollectiveRunner::new(

@@ -1,0 +1,311 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build container has no crates.io registry, so the workspace patches
+//! `criterion` to this vendored harness. It keeps the structural API the
+//! workspace's benches use (`criterion_group!` / `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `sample_size`,
+//! `Throughput`, `BenchmarkId`) and measures with plain wall-clock timing:
+//! a short warm-up, then `sample_size` timed samples, reporting the median,
+//! min, and mean per-iteration time plus derived throughput. No statistical
+//! regression machinery, no HTML reports.
+//!
+//! Benchmark name filters passed on the command line are honoured
+//! (`cargo bench -- <substring>`), which is what the verify tooling uses.
+
+// Vendored stand-in for a crates.io crate: keep diffs against upstream
+// idioms small rather than chasing clippy style here.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (criterion 0.5 does the same).
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional args that are not flags act as name filters, matching
+        // criterion's CLI. Flags (`--bench`, `--exact`, ...) are ignored.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion { filters }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.enabled(id) {
+            run_one(id, DEFAULT_SAMPLE_SIZE, None, &mut f);
+        }
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (string or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Declared work per iteration, used to derive throughput.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        if self.criterion.enabled(&full) {
+            run_one(&full, self.sample_size, self.throughput, &mut f);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.enabled(&full) {
+            run_one(&full, self.sample_size, self.throughput, &mut |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `routine` (return values are black-boxed).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Warm-up: run single iterations until ~200 ms or 3 runs, whichever is
+    // later, to fault in caches and pick an iteration count.
+    let mut warm_runs = 0u32;
+    let mut warm_total = Duration::ZERO;
+    while warm_runs < 3 || (warm_total < Duration::from_millis(200) && warm_runs < 100) {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_total += b.elapsed;
+        warm_runs += 1;
+    }
+    let mean_warm = warm_total / warm_runs;
+    // Aim for samples of ~50 ms, at least one iteration.
+    let iters_per_sample = if mean_warm.is_zero() {
+        1000
+    } else {
+        (Duration::from_millis(50).as_nanos() / mean_warm.as_nanos().max(1)).max(1) as u64
+    };
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+    let mut line = format!(
+        "{name:<48} median {} min {} mean {} ({} samples x {} iters)",
+        fmt_time(median),
+        fmt_time(min),
+        fmt_time(mean),
+        samples.len(),
+        iters_per_sample,
+    );
+    if let Some(t) = throughput {
+        let per_sec = |work: u64| work as f64 / median;
+        match t {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  thrpt {}/s", fmt_bytes(per_sec(n))));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt {:.3} Melem/s", per_sec(n) / 1e6));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn fmt_bytes(bytes_per_sec: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes_per_sec;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    format!("{v:.2} {}", UNITS[unit])
+}
+
+/// Group benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.5e-9).contains("ns"));
+        assert!(fmt_time(2.5e-6).contains("us"));
+        assert!(fmt_time(2.5e-3).contains("ms"));
+        assert!(fmt_bytes(3.0 * 1024.0 * 1024.0).contains("MiB"));
+    }
+}

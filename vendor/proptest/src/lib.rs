@@ -1,0 +1,375 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build container has no crates.io registry, so the workspace patches
+//! `proptest` to this vendored implementation. It keeps the property-test
+//! surface the workspace uses — the `proptest!` macro with
+//! `#![proptest_config(...)]`, `arg in strategy` bindings over
+//! integer/float ranges and `collection::{vec, btree_set}`, plus
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` — and drops
+//! shrinking: a failing case panics with its inputs printed instead of
+//! being minimized. Case generation is seeded per test from the test's
+//! module path, so runs are fully deterministic.
+
+// Vendored stand-in for a crates.io crate: keep diffs against upstream
+// idioms small rather than chasing clippy style here.
+#![allow(clippy::all)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Runner configuration (subset: number of cases).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream default is 256; keep CI latency reasonable.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Generates values of `Self::Value` from an RNG. No shrinking.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// `Just`-style constant strategy (provided for completeness).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Size specification for collection strategies: an exact length or a
+/// half-open range of lengths.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut SmallRng) -> usize {
+        if self.hi - self.lo <= 1 {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::SmallRng;
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with lengths from a [`SizeRange`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`. Mirrors upstream semantics: keeps
+    /// drawing until the set holds the requested number of *distinct*
+    /// elements (bounded retries to avoid pathological loops).
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut budget = n * 64 + 64;
+            while out.len() < n && budget > 0 {
+                out.insert(self.element.sample(rng));
+                budget -= 1;
+            }
+            out
+        }
+    }
+}
+
+/// Deterministic RNG for one property test, derived from its fully
+/// qualified name (FNV-1a over the name, expanded via `seed_from_u64`).
+pub fn rng_for_test(name: &str) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng_for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                let __inputs = format!(
+                    concat!("[", $(stringify!($arg), " = {:?}, ",)* "]"),
+                    $(&$arg,)*
+                );
+                let __result: ::std::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        __case + 1,
+                        __cfg.cases,
+                        __e,
+                        __inputs,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert within a `proptest!` body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion within a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), __l, __r,
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right),
+                        format!($($fmt)+), __l, __r,
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion within a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l,
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case (counts as a pass; no resampling).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        fn ranges_respect_bounds(x in 5u32..10, y in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y), "y = {}", y);
+        }
+
+        fn vec_sizes(v in proptest::collection::vec(0u8..255, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+        }
+
+        fn sets_are_distinct(s in proptest::collection::btree_set(0u32..100, 5)) {
+            prop_assert_eq!(s.len(), 5);
+        }
+
+        fn assume_short_circuits(x in 0u32..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_rng() {
+        let mut a = super::rng_for_test("a::b");
+        let mut b = super::rng_for_test("a::b");
+        use rand::Rng;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build container has no crates.io registry, so the workspace patches
+//! `serde` to this vendored implementation (see `[patch.crates-io]` in the
+//! root `Cargo.toml`). Instead of serde's visitor architecture, this stub
+//! routes everything through a self-describing [`Value`] tree — exactly
+//! what a JSON-only workspace needs. `#[derive(Serialize, Deserialize)]`
+//! is provided by the companion `serde_derive` stub and targets the same
+//! traits, using serde's external enum-tagging convention so the JSON
+//! output shape matches upstream serde_json.
+
+// Vendored stand-in for a crates.io crate: keep diffs against upstream
+// idioms small rather than chasing clippy style here.
+#![allow(clippy::all)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization error: a human-readable message.
+pub type DeError = String;
+
+/// A self-describing data tree — the interchange format between the
+/// `Serialize`/`Deserialize` traits and concrete formats (`serde_json`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integers.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map (field order is preserved, like
+    /// `serde_json` with `preserve_order`… which struct serialization
+    /// effectively gives you anyway).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view, accepting integral floats (JSON has one number type).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Value::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// Short human label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Convert `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Fallback when a struct field is absent from the input map. `None`
+    /// means "required field" (an error is raised); `Option<T>` overrides
+    /// this to tolerate omission.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+/// Look up struct field `name` in map entries `m` (derive-generated code
+/// calls this).
+pub fn field<T: Deserialize>(m: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match m.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| format!("field `{name}`: {e}")),
+        None => T::absent().ok_or_else(|| format!("missing field `{name}`")),
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| {
+                    format!("expected unsigned integer, got {}", v.kind())
+                })?;
+                <$t>::try_from(n).map_err(|_| format!("integer {n} out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| {
+                    format!("expected integer, got {}", v.kind())
+                })?;
+                <$t>::try_from(n).map_err(|_| format!("integer {n} out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| format!("expected number, got {}", v.kind()))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {}", other.kind())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| format!("expected string, got {}", v.kind()))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| format!("expected sequence, got {}", v.kind()))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| format!("expected array of length {N}, got {n}"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v.as_seq().ok_or_else(|| {
+                    format!("expected tuple sequence, got {}", v.kind())
+                })?;
+                let want = 0 $(+ { let _ = $idx; 1 })+;
+                if s.len() != want {
+                    return Err(format!(
+                        "expected tuple of length {want}, got {}", s.len()
+                    ));
+                }
+                Ok(($($name::from_value(&s[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        other => format!("{other:?}"),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-9i64).to_value()).unwrap(), -9);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        let s = "hi".to_string();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), "hi");
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let a: [u64; 3] = [4, 5, 6];
+        assert_eq!(<[u64; 3]>::from_value(&a.to_value()).unwrap(), a);
+        let t = (1u32, 2.5f64);
+        assert_eq!(<(u32, f64)>::from_value(&t.to_value()).unwrap(), t);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn range_errors_are_reported() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+        assert!(<[u64; 2]>::from_value(&Value::Seq(vec![Value::U64(1)])).is_err());
+    }
+
+    #[test]
+    fn field_lookup_requires_presence_except_option() {
+        let m = vec![("a".to_string(), Value::U64(1))];
+        assert_eq!(field::<u32>(&m, "a").unwrap(), 1);
+        assert!(field::<u32>(&m, "b").is_err());
+        assert_eq!(field::<Option<u32>>(&m, "b").unwrap(), None);
+    }
+}

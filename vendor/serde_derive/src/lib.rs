@@ -1,0 +1,445 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` subset.
+//!
+//! The container has no crates.io registry, so `syn`/`quote` are
+//! unavailable; this macro walks the raw [`proc_macro::TokenStream`]
+//! directly and emits impl blocks as source text. It supports exactly the
+//! shapes the FlowPulse workspace uses:
+//!
+//! - structs with named fields,
+//! - tuple structs (newtype and multi-field),
+//! - enums with unit, newtype/tuple, and struct variants
+//!   (serde's *external* tagging convention: `"Variant"` /
+//!   `{"Variant": ...}`),
+//!
+//! and rejects generics with a `compile_error!` pointing here. Attributes
+//! (including doc comments and `#[serde(...)]`) are skipped; no serde
+//! attributes are honoured.
+
+// Vendored stand-in for a crates.io crate: keep diffs against upstream
+// idioms small rather than chasing clippy style here.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+use std::str::FromStr;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Copy, Clone, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            let esc = msg.replace('\\', "\\\\").replace('"', "\\\"");
+            return TokenStream::from_str(&format!("compile_error!(\"{esc}\");"))
+                .expect("compile_error literal");
+        }
+    };
+    let src = match which {
+        Trait::Serialize => gen_serialize(&item),
+        Trait::Deserialize => gen_deserialize(&item),
+    };
+    TokenStream::from_str(&src)
+        .unwrap_or_else(|e| panic!("serde_derive stub produced unparseable code: {e:?}\n{src}"))
+}
+
+// ---------------------------------------------------------------- parsing
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip `#[...]` attribute groups (doc comments included) and `pub` /
+/// `pub(...)` visibility markers.
+fn skip_attrs_and_vis(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // The bracketed attribute body.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn next_ident(it: &mut Tokens, what: &str) -> Result<String, String> {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("serde_derive stub: expected {what}, got {other:?}")),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = next_ident(&mut it, "`struct` or `enum`")?;
+    let name = next_ident(&mut it, "item name")?;
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive stub: generic type `{name}` is not supported \
+                 (see vendor/serde_derive)"
+            ));
+        }
+    }
+    let kind = match (kw.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Struct(Fields::Named(parse_named_fields(g.stream())?))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            ItemKind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            ItemKind::Struct(Fields::Unit)
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Enum(parse_variants(g.stream())?)
+        }
+        (kw, other) => {
+            return Err(format!(
+                "serde_derive stub: unsupported item shape: {kw} ... {other:?}"
+            ))
+        }
+    };
+    Ok(Item { name, kind })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde_derive stub: bad field name: {other:?}")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde_derive stub: expected `:`, got {other:?}")),
+        }
+        skip_type_until_comma(&mut it);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Consume type tokens up to (and including) the next comma at angle-bracket
+/// depth zero. Commas inside `(...)`/`[...]` are invisible (whole groups);
+/// commas inside `Vec<..., ...>` are guarded by the depth counter.
+fn skip_type_until_comma(it: &mut Tokens) {
+    let mut depth = 0i32;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                ',' if depth == 0 => return,
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Number of fields in a tuple-struct / tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut seg_has_tokens = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                ',' if depth == 0 => {
+                    if seg_has_tokens {
+                        fields += 1;
+                    }
+                    seg_has_tokens = false;
+                    continue;
+                }
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        seg_has_tokens = true;
+    }
+    if seg_has_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde_derive stub: bad variant: {other:?}")),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())?;
+                it.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip to the comma separating variants (also skips `= disc`).
+        for tt in it.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => ser_struct_body(fields, "self."),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![\
+                             (\"{vname}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let entries: Vec<String> = fnames
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![\
+                             (\"{vname}\".to_string(), \
+                             ::serde::Value::Map(vec![{}]))]),\n",
+                            fnames.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn ser_struct_body(fields: &Fields, access: &str) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => format!("::serde::Serialize::to_value(&{access}0)"),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&{access}{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&{access}{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(",\n"))
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => format!("Ok({name})"),
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = v.as_seq().ok_or_else(|| format!(\
+                 \"expected sequence for {name}, got {{}}\", v.kind()))?;\n\
+                 if __s.len() != {n} {{\n\
+                     return Err(format!(\
+                     \"expected {n} elements for {name}, got {{}}\", __s.len()));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__m, \"{f}\")?"))
+                .collect();
+            format!(
+                "let __m = v.as_map().ok_or_else(|| format!(\
+                 \"expected map for {name}, got {{}}\", v.kind()))?;\n\
+                 Ok({name} {{\n{}\n}})",
+                inits.join(",\n")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"))
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __s = __inner.as_seq().ok_or_else(|| format!(\
+                             \"expected sequence for {name}::{vname}, got {{}}\", \
+                             __inner.kind()))?;\n\
+                             if __s.len() != {n} {{\n\
+                                 return Err(format!(\
+                                 \"expected {n} elements for {name}::{vname}, \
+                                 got {{}}\", __s.len()));\n\
+                             }}\n\
+                             Ok({name}::{vname}({}))\n\
+                             }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let inits: Vec<String> = fnames
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(__m, \"{f}\")?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __m = __inner.as_map().ok_or_else(|| format!(\
+                             \"expected map for {name}::{vname}, got {{}}\", \
+                             __inner.kind()))?;\n\
+                             Ok({name}::{vname} {{ {} }})\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(format!(\
+                 \"unknown variant `{{}}` of {name}\", __other)),\n\
+                 }},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__m[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => Err(format!(\
+                 \"unknown variant `{{}}` of {name}\", __other)),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(format!(\
+                 \"expected string or single-key map for {name}, got {{}}\", \
+                 __other.kind())),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
