@@ -66,7 +66,9 @@ fn main() {
             });
         }
     }
-    let mut results = Campaign::from_env().run(&specs).into_iter();
+    let mut results = Campaign::from_env()
+        .run_logged("ablate_jitter", &specs)
+        .into_iter();
 
     header("A2 — jitter sensitivity (ring-allreduce, 1.5% drop)");
     println!(

@@ -73,7 +73,9 @@ fn main() {
             }
         }
     }
-    let mut results = Campaign::from_env().run(&specs).into_iter();
+    let mut results = Campaign::from_env()
+        .run_logged("ablate_spray", &specs)
+        .into_iter();
 
     header("A1 — spray policy vs symmetry noise and detection (1.5% drop)");
     println!(

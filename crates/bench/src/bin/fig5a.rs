@@ -60,7 +60,7 @@ fn main() {
             });
         }
     }
-    let mut results = Campaign::from_env().run(&specs).into_iter();
+    let mut results = Campaign::from_env().run_logged("fig5a", &specs).into_iter();
 
     // Clean deviations: fault-free trials + pre-fault iterations of fault
     // trials all contribute.

@@ -70,7 +70,7 @@ fn main() {
             });
         }
     }
-    let mut results = Campaign::from_env().run(&specs).into_iter();
+    let mut results = Campaign::from_env().run_logged("fig5b", &specs).into_iter();
 
     header("Fig 5(b) — FPR/FNR vs switch radix (drop rate 0.8%)");
     println!(

@@ -58,7 +58,7 @@ fn main() {
             }
         }
     }
-    let mut results = Campaign::from_env().run(&specs).into_iter();
+    let mut results = Campaign::from_env().run_logged("fig5c", &specs).into_iter();
 
     header("Fig 5(c) — FPR/FNR vs collective size");
     println!(

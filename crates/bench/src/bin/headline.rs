@@ -42,7 +42,38 @@ fn main() {
         ..Default::default()
     };
     header("E7 — headline: 1.5% silent corruption, 32-leaf fat tree, Ring-AllReduce");
-    let r = run_trial(&spec);
+    // With FP_TELEMETRY=dir, ride a full RunRecorder along: link samples,
+    // FCT/RTO/PFC histograms, structured events and a Chrome trace land in
+    // $FP_TELEMETRY/headline/ next to the run's manifest.
+    let telemetry = fp_telemetry::dir_from_env().map(|d| d.join("headline"));
+    let recorder = telemetry.clone().map(|d| {
+        Box::new(
+            fp_telemetry::RunRecorder::new(d)
+                .with_interval_ns(fp_telemetry::sample_interval_from_env()),
+        ) as Box<dyn fp_telemetry::Recorder>
+    });
+    let t0 = std::time::Instant::now();
+    let (r, recorder) = run_trial_with(&spec, recorder);
+    let wall_us = (t0.elapsed().as_micros() as u64).max(1);
+    if let Some(mut rec) = recorder {
+        rec.finish().expect("write telemetry artifacts");
+    }
+    let timing = [fp_bench::TrialTiming {
+        idx: 0,
+        seed: spec.seed,
+        wall_us,
+        events: r.stats.events,
+    }];
+    let log_path = fp_bench::out_dir().join("campaign_log.txt");
+    if let Err(e) = fp_bench::log_trials_to(&log_path, "headline", 1, &timing, wall_us) {
+        eprintln!("warning: cannot append campaign log: {e}");
+    }
+    if let Some(dir) = &telemetry {
+        fp_bench::campaign_manifest("headline", 1, std::slice::from_ref(&spec), &timing, wall_us)
+            .write(dir)
+            .expect("write manifest");
+        println!("[telemetry {}]", dir.display());
+    }
     let (clean, faulty) = flowpulse::eval::split_devs(&r);
     let clean_max = clean.iter().cloned().fold(0.0, f64::max);
     let faulty_max = faulty.iter().cloned().fold(0.0, f64::max);

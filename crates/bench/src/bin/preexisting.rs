@@ -63,7 +63,9 @@ fn main() {
             }
         }
     }
-    let mut results = Campaign::from_env().run(&specs).into_iter();
+    let mut results = Campaign::from_env()
+        .run_logged("preexisting", &specs)
+        .into_iter();
 
     header("E6 — new silent faults on top of pre-existing known faults");
     println!(

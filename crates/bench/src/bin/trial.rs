@@ -28,6 +28,13 @@ struct Summary {
     retransmits: u64,
     data_pkts_sent: u64,
     events: u64,
+    /// Trace-ring records retained by the run (drops, fault transitions,
+    /// PFC state changes, flow failures), oldest first. The ring is
+    /// bounded: when `trace_truncated` is true, `trace_offered` events were
+    /// generated but only the most recent `trace.len()` survive here.
+    trace: Vec<fp_netsim::trace::TraceRecord>,
+    trace_offered: u64,
+    trace_truncated: bool,
 }
 
 fn main() {
@@ -73,6 +80,18 @@ fn main() {
         retransmits: r.stats.retransmits,
         data_pkts_sent: r.stats.data_pkts_sent,
         events: r.stats.events,
+        trace: r.trace.clone(),
+        trace_offered: r.trace_offered,
+        trace_truncated: r.trace_truncated,
     };
+    if summary.trace_truncated {
+        eprintln!(
+            "note: trace ring evicted {} of {} events; the summary's `trace` \
+             holds only the most recent {}",
+            summary.trace_offered - summary.trace.len() as u64,
+            summary.trace_offered,
+            summary.trace.len()
+        );
+    }
     println!("{}", serde_json::to_string_pretty(&summary).unwrap());
 }

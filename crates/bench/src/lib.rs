@@ -25,7 +25,7 @@
 
 pub mod campaign;
 
-pub use campaign::Campaign;
+pub use campaign::{campaign_manifest, log_trials_to, Campaign, TrialTiming};
 
 use serde::Serialize;
 use std::io::Write;

@@ -78,6 +78,39 @@ fn campaign_rows_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn attached_recorder_never_changes_sweep_bytes() {
+    // A recorder with the periodic sampler enabled rides along on every
+    // trial; the serialized rows and the engine's event accounting must
+    // come out byte-identical to the recorder-free campaign.
+    struct SamplingNull;
+    impl fp_telemetry::Recorder for SamplingNull {
+        fn sample_interval_ns(&self) -> u64 {
+            50_000
+        }
+    }
+    let specs = sweep();
+    let plain = Campaign::with_threads(2).run(&specs);
+    let with_rec: Vec<TrialResult> = specs
+        .iter()
+        .map(|s| run_trial_with(s, Some(Box::new(SamplingNull))).0)
+        .collect();
+    assert_eq!(
+        serialize_rows(&specs, &plain),
+        serialize_rows(&specs, &with_rec),
+        "telemetry must not change output bytes"
+    );
+    for (a, b) in plain.iter().zip(&with_rec) {
+        assert_eq!(
+            a.stats.events, b.stats.events,
+            "sampler ticks must not be charged to event accounting"
+        );
+        assert_eq!(a.iter_max_dev, b.iter_max_dev);
+        assert_eq!(a.alarms, b.alarms);
+        assert_eq!(a.stats.pkts_txed, b.stats.pkts_txed);
+    }
+}
+
+#[test]
 fn fp_threads_env_sets_pool_size() {
     // This is the only test in this binary touching FP_THREADS, so the
     // process-global env mutation cannot race another test.

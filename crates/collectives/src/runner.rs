@@ -249,6 +249,12 @@ impl Application for CollectiveRunner {
         if self.outstanding == 0 {
             let now = sim.now();
             self.iter_finished.push(now);
+            sim.record_iteration_span(
+                self.cfg.job,
+                self.iter,
+                self.iter_started[self.iter as usize],
+                now,
+            );
             if let Some(h) = self.on_iter_end.as_mut() {
                 h(sim, self.iter);
             }
@@ -344,6 +350,41 @@ mod tests {
         let i1 = sim.counters.get(1, 1).unwrap();
         assert!(i1.first_seen_at(1).unwrap() > i0.first_seen_at(1).unwrap());
         assert_eq!(i0.bytes, i1.bytes);
+    }
+
+    #[test]
+    fn iteration_spans_reach_the_recorder() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        type Spans = Rc<RefCell<Vec<(u32, u32, u64, u64)>>>;
+        struct Rec(Spans);
+        impl fp_telemetry::Recorder for Rec {
+            fn on_iteration(&mut self, job: u32, iter: u32, start_ns: u64, end_ns: u64) {
+                self.0.borrow_mut().push((job, iter, start_ns, end_ns));
+            }
+        }
+        let spans: Spans = Default::default();
+        let mut sim = fabric(4, 2);
+        sim.set_recorder(Box::new(Rec(spans.clone())));
+        let sched = ring_allreduce(&hosts(4), 32 * 1024);
+        let gap = SimDuration::from_us(50);
+        let cfg = RunnerConfig {
+            iterations: 2,
+            compute_gap: gap,
+            ..Default::default()
+        };
+        sim.set_app(Box::new(CollectiveRunner::new(sched, cfg)));
+        sim.run();
+        let s = spans.borrow();
+        assert_eq!(s.len(), 2);
+        for (i, &(job, iter, start, end)) in s.iter().enumerate() {
+            assert_eq!(job, 1);
+            assert_eq!(iter, i as u32);
+            assert!(start < end);
+        }
+        // Iteration 1's scheduled base is exactly iteration 0's completion
+        // plus the compute gap (jitter is off by default).
+        assert_eq!(s[1].2, s[0].3 + gap.as_ns());
     }
 
     #[test]

@@ -174,6 +174,14 @@ pub struct TrialResult {
     pub learned_events: Vec<(u32, LearnedUpdate)>,
     /// Transport/fabric statistics.
     pub stats: Stats,
+    /// Retained trace-ring records (drops, fault transitions, PFC state
+    /// changes, flow failures), oldest first.
+    pub trace: Vec<fp_netsim::trace::TraceRecord>,
+    /// Events offered to the trace ring, including any evicted ones.
+    pub trace_offered: u64,
+    /// The ring evicted records (`trace_offered > trace.len()`); exports
+    /// must surface this — the retained window is the *most recent* slice.
+    pub trace_truncated: bool,
     /// Observed per-port loads per iteration (for figure harnesses).
     pub observed: Vec<PortLoads>,
     /// The model prediction (`None` for learned until formed).
@@ -261,6 +269,23 @@ fn choose_cables(
 
 /// Execute one trial end-to-end.
 pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    run_trial_with(spec, None).0
+}
+
+/// [`run_trial`] with an optional telemetry recorder riding along.
+///
+/// When `recorder` is `Some`, the simulator drives its periodic link
+/// sampler and funnels flow-completion / RTO / PFC observations into it
+/// during the run; afterwards the harness drains the trace ring, the
+/// monitor's alarms and the fault/detection milestones into the same
+/// recorder as structured events, then hands the recorder back so the
+/// caller can [`finish`](fp_telemetry::Recorder::finish) it (write
+/// artifacts). `run_trial` is exactly `run_trial_with(spec, None)`, so a
+/// disabled recorder costs nothing and cannot perturb results.
+pub fn run_trial_with(
+    spec: &TrialSpec,
+    recorder: Option<Box<dyn fp_telemetry::Recorder>>,
+) -> (TrialResult, Option<Box<dyn fp_telemetry::Recorder>>) {
     let job = 1u32;
     let topo = Topology::fat_tree(FatTreeSpec {
         leaves: spec.leaves,
@@ -321,6 +346,9 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
 
     // Production fabric.
     let mut sim = Simulator::new(topo.clone(), spec.sim.clone(), spec.seed);
+    if let Some(rec) = recorder {
+        sim.set_recorder(rec);
+    }
     for &l in &admin_down {
         sim.apply_fault_now(l, FaultAction::Set(FaultKind::AdminDown), false);
     }
@@ -414,7 +442,47 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
         (None, None)
     };
 
-    TrialResult {
+    // Structured-event export: drain the trace ring, the monitor's alarms
+    // and the trial milestones into the recorder, then hand it back.
+    let mut recorder = sim.take_recorder();
+    if let Some(rec) = recorder.as_deref_mut() {
+        let end_ns = sim.now().as_ns();
+        sim.trace.export_into(rec);
+        monitor.export_alarms(end_ns, rec);
+        if let (Some(f), Some((fleaf, fv))) = (spec.fault, fault_port) {
+            rec.on_event(
+                end_ns,
+                &fp_telemetry::Event::Milestone {
+                    name: "fault_installed".into(),
+                    detail: format!("iter {} port ({fleaf},{fv})", f.at_iter),
+                },
+            );
+            if let Some(h) = f.heal_at_iter {
+                rec.on_event(
+                    end_ns,
+                    &fp_telemetry::Event::Milestone {
+                        name: "fault_healed".into(),
+                        detail: format!("iter {h} port ({fleaf},{fv})"),
+                    },
+                );
+            }
+        }
+        if let Some(first) = monitor.alarms.iter().map(|a| a.iter).min() {
+            rec.on_event(
+                end_ns,
+                &fp_telemetry::Event::Milestone {
+                    name: if detected {
+                        "fault_detected".into()
+                    } else {
+                        "false_alarm".into()
+                    },
+                    detail: format!("first alarm at iter {first}"),
+                },
+            );
+        }
+    }
+
+    let result = TrialResult {
         iter_max_dev: monitor.iter_max_dev.clone(),
         alarms: monitor.alarms.clone(),
         fault_port,
@@ -427,11 +495,15 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
         preexisting_ports,
         learned_events: monitor.learned_events.clone(),
         stats: sim.stats.clone(),
+        trace: sim.trace.to_records(),
+        trace_offered: sim.trace.offered,
+        trace_truncated: sim.trace.truncated(),
         observed,
         predicted,
         predicted_by_src,
         observed_by_src,
-    }
+    };
+    (result, recorder)
 }
 
 /// Binary classification tallies over iterations.
@@ -693,6 +765,91 @@ mod tests {
         // No fault → no latency to speak of.
         let clean = run_trial(&small_spec());
         assert_eq!(clean.detection_latency_iters(), None);
+    }
+
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Test recorder sharing its observations through an `Rc` so the test
+    /// can inspect them after `run_trial_with` hands the box back.
+    #[derive(Default)]
+    struct Shared {
+        events: Vec<(u64, fp_telemetry::Event)>,
+        spans: Vec<(u32, u32, u64, u64)>,
+        samples: usize,
+    }
+    struct Collect(Rc<RefCell<Shared>>);
+    impl fp_telemetry::Recorder for Collect {
+        fn sample_interval_ns(&self) -> u64 {
+            100_000
+        }
+        fn on_link_sample(&mut self, _t_ns: u64, _link: u32, _s: &fp_telemetry::LinkSample) {
+            self.0.borrow_mut().samples += 1;
+        }
+        fn on_event(&mut self, t_ns: u64, ev: &fp_telemetry::Event) {
+            self.0.borrow_mut().events.push((t_ns, ev.clone()));
+        }
+        fn on_iteration(&mut self, job: u32, iter: u32, start_ns: u64, end_ns: u64) {
+            self.0
+                .borrow_mut()
+                .spans
+                .push((job, iter, start_ns, end_ns));
+        }
+    }
+
+    #[test]
+    fn recorder_rides_along_and_captures_the_story() {
+        use fp_telemetry::Event;
+        let mut spec = small_spec();
+        spec.fault = Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.05 },
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        });
+        let shared = Rc::new(RefCell::new(Shared::default()));
+        let (r, rec) = run_trial_with(&spec, Some(Box::new(Collect(shared.clone()))));
+        assert!(rec.is_some(), "the recorder comes back for finish()");
+        drop(rec);
+        assert!(r.detected);
+        let s = shared.borrow();
+        // One span per iteration, in order, well-formed.
+        assert_eq!(s.spans.len(), spec.iterations as usize);
+        for (i, &(job, iter, start, end)) in s.spans.iter().enumerate() {
+            assert_eq!(job, 1);
+            assert_eq!(iter, i as u32);
+            assert!(start < end);
+        }
+        assert!(s.samples > 0, "link sampler ran");
+        // The full story landed as structured events: the fault install from
+        // the trace ring, the monitor's alarms, and both milestones.
+        let has = |f: &dyn Fn(&Event) -> bool| s.events.iter().any(|(_, e)| f(e));
+        assert!(has(&|e| matches!(e, Event::FaultSet { .. })));
+        assert!(has(&|e| matches!(e, Event::Alarm { .. })));
+        assert!(has(
+            &|e| matches!(e, Event::Milestone { name, .. } if name == "fault_installed")
+        ));
+        assert!(has(
+            &|e| matches!(e, Event::Milestone { name, .. } if name == "fault_detected")
+        ));
+    }
+
+    #[test]
+    fn attached_recorder_does_not_perturb_the_trial() {
+        let mut spec = small_spec();
+        spec.fault = Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.02 },
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        });
+        let base = run_trial(&spec);
+        let shared = Rc::new(RefCell::new(Shared::default()));
+        let (r, _) = run_trial_with(&spec, Some(Box::new(Collect(shared))));
+        assert_eq!(base.stats.events, r.stats.events);
+        assert_eq!(base.iter_max_dev, r.iter_max_dev);
+        assert_eq!(base.alarms, r.alarms);
+        assert_eq!(base.stats.pkts_txed, r.stats.pkts_txed);
     }
 
     #[test]

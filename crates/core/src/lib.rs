@@ -75,8 +75,8 @@ pub mod prelude {
     };
     pub use crate::detector::{Detector, Deviation};
     pub use crate::eval::{
-        roc_curve, run_trial, CollectiveKind, FaultSpec, InjectedFault, ModelKind, Rates, RocPoint,
-        TrialResult, TrialSpec,
+        roc_curve, run_trial, run_trial_with, CollectiveKind, FaultSpec, InjectedFault, ModelKind,
+        Rates, RocPoint, TrialResult, TrialSpec,
     };
     pub use crate::learned::{LearnedModel, LearnedUpdate};
     pub use crate::localizer::{Localizer, PortVerdict, RingLocalization};

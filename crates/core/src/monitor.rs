@@ -155,6 +155,30 @@ impl Monitor {
         }
     }
 
+    /// Export every alarm raised so far into a telemetry recorder as
+    /// structured [`fp_telemetry::Event::Alarm`]s. Monitoring is post-hoc
+    /// (counters are scanned after the run), so the caller supplies the
+    /// simulated time `at_ns` the scan is attributed to — conventionally
+    /// the end-of-run clock.
+    pub fn export_alarms(&self, at_ns: u64, rec: &mut dyn fp_telemetry::Recorder) {
+        for a in &self.alarms {
+            let worst_rel = a
+                .deviations
+                .iter()
+                .map(|d| d.rel)
+                .max_by(|x, y| x.abs().total_cmp(&y.abs()))
+                .unwrap_or(0.0);
+            rec.on_event(
+                at_ns,
+                &fp_telemetry::Event::Alarm {
+                    iter: a.iter,
+                    leaf: a.leaf,
+                    worst_rel,
+                },
+            );
+        }
+    }
+
     /// Alarms raised for iterations in `[from, to)`.
     pub fn alarms_in(&self, from: u32, to: u32) -> impl Iterator<Item = &Alarm> {
         self.alarms

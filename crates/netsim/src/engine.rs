@@ -70,6 +70,15 @@ pub enum EventKind {
         /// Flow whose receiver has a pending ACK accumulation.
         flow: FlowId,
     },
+    /// Periodic telemetry sampler tick, scheduled only while a recorder
+    /// with a nonzero sampling interval is attached.
+    ///
+    /// Like lazily-cancelled RTO pops, sampler ticks advance the clock but
+    /// are *not* charged to `stats.events` or the `max_events` guard, so an
+    /// attached recorder never perturbs event accounting. The tick
+    /// reschedules itself only while other events remain, so it cannot keep
+    /// an otherwise-drained heap alive.
+    Sample,
 }
 
 struct HeapEntry {

@@ -28,10 +28,11 @@ use crate::packet::{AckBlock, CollectiveTag, FlowId, Packet, PacketKind, Priorit
 use crate::rng::RngStreams;
 use crate::spray;
 use crate::stats::{DropCause, Stats};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkClass, SwitchKind, Topology};
 use crate::trace::{TraceBuffer, TraceEvent};
 use crate::transport::{AckAccum, FlowState};
+use fp_telemetry::{LinkMeta, LinkSample, Recorder};
 use std::collections::VecDeque;
 
 /// Runtime state of one directed link (its egress queue lives at the
@@ -53,6 +54,9 @@ pub struct LinkState {
     pub queued_bytes: u64,
     /// PFC pause state per priority (set by the downstream receiver).
     pub paused: [bool; NPRIO],
+    /// When the current pause interval started, per priority (valid only
+    /// while `paused[p]`; feeds `Stats::pfc_pause_ns`).
+    paused_since: [SimTime; NPRIO],
     /// Packets fully serialized onto this link.
     pub txed_pkts: u64,
     /// Wire bytes fully serialized onto this link.
@@ -73,6 +77,7 @@ impl LinkState {
             queues: Default::default(),
             queued_bytes: 0,
             paused: [false; NPRIO],
+            paused_since: [SimTime::ZERO; NPRIO],
             txed_pkts: 0,
             txed_bytes: 0,
             delivered_pkts: 0,
@@ -174,6 +179,7 @@ pub struct Simulator {
     app: Option<Box<dyn Application>>,
     app_started: bool,
     fault_events: Vec<FaultEvent>,
+    recorder: Option<Box<dyn Recorder>>,
     scratch_cands: Vec<LinkId>,
     scratch_loads: Vec<u64>,
 }
@@ -235,6 +241,7 @@ impl Simulator {
             app: None,
             app_started: false,
             fault_events: Vec::new(),
+            recorder: None,
             scratch_cands: Vec::new(),
             scratch_loads: Vec::new(),
         };
@@ -267,6 +274,83 @@ impl Simulator {
     /// candidate set. Exposed for load models.
     pub fn valid_uplinks(&self, leaf: u32, dst_leaf: u32) -> &[LinkId] {
         &self.switches[leaf as usize].valid_up[dst_leaf as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry
+    // ------------------------------------------------------------------
+
+    /// Attach a telemetry recorder. The recorder immediately receives the
+    /// topology description; if it asks for a nonzero sampling interval the
+    /// periodic link sampler is scheduled. With no recorder attached (the
+    /// default) every telemetry call site reduces to one `Option` branch
+    /// and no sampler events exist, so runs are byte-identical to a build
+    /// without telemetry.
+    pub fn set_recorder(&mut self, mut rec: Box<dyn Recorder>) {
+        let metas: Vec<LinkMeta> = self
+            .topo
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| LinkMeta {
+                id: i as u32,
+                name: format!("{}->{}", node_label(l.src), node_label(l.dst)),
+                bytes_per_sec: l.bandwidth.bps() / 8,
+            })
+            .collect();
+        rec.on_topology(&metas);
+        let interval = rec.sample_interval_ns();
+        self.recorder = Some(rec);
+        if interval > 0 {
+            self.heap
+                .push(self.now + SimDuration::from_ns(interval), EventKind::Sample);
+        }
+    }
+
+    /// Detach and return the recorder (for post-run export and flushing).
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// True if a telemetry recorder is attached.
+    pub fn has_recorder(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Report a completed collective iteration span to the attached
+    /// recorder (no-op without one). Called by workload runners.
+    pub fn record_iteration_span(&mut self, job: u32, iter: u32, start: SimTime, end: SimTime) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.on_iteration(job, iter, start.as_ns(), end.as_ns());
+        }
+    }
+
+    /// Sampler tick: hand every link's egress state to the recorder.
+    fn sample_links(&mut self) {
+        // Move the recorder out so the link table can be borrowed freely.
+        let Some(mut rec) = self.recorder.take() else {
+            return;
+        };
+        let t = self.now.as_ns();
+        for (i, l) in self.links.iter().enumerate() {
+            let mut mask = 0u8;
+            for (p, &paused) in l.paused.iter().enumerate() {
+                if paused {
+                    mask |= 1 << p;
+                }
+            }
+            rec.on_link_sample(
+                t,
+                i as u32,
+                &LinkSample {
+                    queued_bytes: l.queued_bytes,
+                    queued_pkts: l.queued_pkts() as u32,
+                    txed_bytes: l.txed_bytes,
+                    paused_mask: mask,
+                },
+            );
+        }
+        self.recorder = Some(rec);
     }
 
     // ------------------------------------------------------------------
@@ -509,6 +593,28 @@ impl Simulator {
                 return;
             }
         }
+        // Sampler ticks advance the clock but, like stale-RTO skips, are
+        // not charged to `stats.events` or the `max_events` guard —
+        // telemetry must not perturb event accounting. The tick reschedules
+        // itself only while other events remain, so a drained workload
+        // cannot be kept alive by its own sampler.
+        if matches!(kind, EventKind::Sample) {
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.sample_links();
+            if !self.heap.is_empty() {
+                if let Some(interval) = self
+                    .recorder
+                    .as_ref()
+                    .map(|r| r.sample_interval_ns())
+                    .filter(|&i| i > 0)
+                {
+                    self.heap
+                        .push(at + SimDuration::from_ns(interval), EventKind::Sample);
+                }
+            }
+            return;
+        }
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         self.stats.events += 1;
@@ -527,6 +633,7 @@ impl Simulator {
             }
             EventKind::Pfc { link, prio, pause } => self.handle_pfc(link, prio, pause),
             EventKind::AckFlush { flow } => self.handle_ack_flush(flow),
+            EventKind::Sample => unreachable!("handled before event accounting"),
         }
     }
 
@@ -788,7 +895,25 @@ impl Simulator {
     }
 
     fn handle_pfc(&mut self, link: LinkId, prio: u8, pause: bool) {
-        self.links[link.idx()].paused[prio as usize] = pause;
+        let q = prio as usize;
+        let was = self.links[link.idx()].paused[q];
+        // Pause/resume frames strictly alternate per (link, priority): the
+        // downstream switch's `pause_sent` bookkeeping sends a resume only
+        // while a pause is outstanding and vice versa.
+        debug_assert_ne!(was, pause, "unpaired PFC frame on {link:?} prio {prio}");
+        if pause {
+            self.links[link.idx()].paused_since[q] = self.now;
+        } else if was {
+            let pause_ns = self
+                .now
+                .as_ns()
+                .saturating_sub(self.links[link.idx()].paused_since[q].as_ns());
+            self.stats.pfc_pause_ns[q] += pause_ns;
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.on_pfc_pause_ns(prio, pause_ns);
+            }
+        }
+        self.links[link.idx()].paused[q] = pause;
         self.trace.push(
             self.now,
             TraceEvent::PfcState {
@@ -992,6 +1117,10 @@ impl Simulator {
         }
         if completed {
             self.stats.flows_completed += 1;
+            if let Some(rec) = self.recorder.as_mut() {
+                let created = self.flows[flow as usize].created_at;
+                rec.on_fct_ns(self.now.as_ns().saturating_sub(created.as_ns()));
+            }
         }
         // Always (re-)acknowledge, even duplicates — the sender may be
         // retransmitting because our earlier ACK was lost.
@@ -1141,6 +1270,9 @@ impl Simulator {
         };
         self.stats.retransmits += 1;
         self.flows[flow as usize].retx += 1;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.on_rto_attempt(attempt);
+        }
         self.enqueue(self.topo.host_up[src.idx()], pkt);
         let exp = (attempt + 1).min(self.cfg.rto_backoff_cap);
         let backoff = self.cfg.rto.mul_f64(self.cfg.rto_backoff.powi(exp as i32));
@@ -1168,6 +1300,14 @@ impl Simulator {
     /// Pending event count (0 = idle).
     pub fn pending_events(&self) -> usize {
         self.heap.len()
+    }
+}
+
+/// Compact endpoint label for telemetry track names.
+fn node_label(n: NodeId) -> String {
+    match n {
+        NodeId::Host(h) => format!("host{}", h.0),
+        NodeId::Switch(s) => format!("sw{}", s.0),
     }
 }
 
@@ -1491,6 +1631,137 @@ mod tests {
         assert_eq!(r2.reason, RunReason::Drained);
         assert_eq!(r2.events, r1.events, "runs must be identical");
         assert_eq!(skips2, skips);
+    }
+
+    /// Shared-counter test recorder (hooks tallied through `Rc<Cell>` so
+    /// the test keeps a handle after boxing it into the simulator).
+    #[derive(Clone, Default)]
+    struct CountingRec {
+        interval: u64,
+        ticks: std::rc::Rc<std::cell::Cell<u64>>,
+        samples: std::rc::Rc<std::cell::Cell<u64>>,
+        last_t: std::rc::Rc<std::cell::Cell<u64>>,
+        fcts: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+        rtos: std::rc::Rc<std::cell::Cell<u64>>,
+        pauses: std::rc::Rc<std::cell::Cell<u64>>,
+        pause_ns: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+
+    impl Recorder for CountingRec {
+        fn sample_interval_ns(&self) -> u64 {
+            self.interval
+        }
+        fn on_link_sample(&mut self, t_ns: u64, _link: u32, _s: &LinkSample) {
+            self.samples.set(self.samples.get() + 1);
+            if self.last_t.get() != t_ns {
+                self.last_t.set(t_ns);
+                self.ticks.set(self.ticks.get() + 1);
+            }
+        }
+        fn on_fct_ns(&mut self, fct_ns: u64) {
+            self.fcts.borrow_mut().push(fct_ns);
+        }
+        fn on_rto_attempt(&mut self, _attempt: u32) {
+            self.rtos.set(self.rtos.get() + 1);
+        }
+        fn on_pfc_pause_ns(&mut self, _prio: u8, pause_ns: u64) {
+            self.pauses.set(self.pauses.get() + 1);
+            self.pause_ns.set(self.pause_ns.get() + pause_ns);
+        }
+    }
+
+    #[test]
+    fn sampler_ticks_match_duration_over_interval() {
+        const INTERVAL: u64 = 1_000;
+        let base_events = {
+            let mut s = sim(67);
+            s.post_message(HostId(0), HostId(3), 1_000_000, None, Priority::MEASURED);
+            s.run();
+            s.stats.events
+        };
+        let mut s = sim(67);
+        let rec = CountingRec {
+            interval: INTERVAL,
+            ..Default::default()
+        };
+        s.set_recorder(Box::new(rec.clone()));
+        s.post_message(HostId(0), HostId(3), 1_000_000, None, Priority::MEASURED);
+        let r = s.run();
+        assert_eq!(r.reason, RunReason::Drained);
+        // Samples land exactly at k*INTERVAL and the final event of the run
+        // is the last sampler tick, so tick count == duration / interval.
+        assert_eq!(s.now().as_ns() % INTERVAL, 0);
+        assert_eq!(rec.ticks.get(), s.now().as_ns() / INTERVAL);
+        // Every link is observed on every tick.
+        assert_eq!(rec.samples.get(), rec.ticks.get() * s.topo.n_links() as u64);
+        // Sampler ticks are not charged as engine events: accounting is
+        // identical to the recorder-free run.
+        assert_eq!(s.stats.events, base_events);
+    }
+
+    #[test]
+    fn recorder_sees_flow_completion_times() {
+        let mut s = sim(71);
+        let rec = CountingRec::default();
+        s.set_recorder(Box::new(rec.clone()));
+        let f = s.post_message(HostId(0), HostId(2), 100_000, None, Priority::MEASURED);
+        s.run();
+        let fcts = rec.fcts.borrow();
+        assert_eq!(fcts.len(), 1);
+        let flow = &s.flows[f as usize];
+        let want = flow.completed_at.unwrap().as_ns() - flow.created_at.as_ns();
+        assert_eq!(fcts[0], want);
+    }
+
+    #[test]
+    fn recorder_sees_rto_attempts() {
+        let mut s = sim(73);
+        let rec = CountingRec::default();
+        s.set_recorder(Box::new(rec.clone()));
+        let bad = s.topo.downlink(0, 3);
+        s.apply_fault_now(
+            bad,
+            FaultAction::Set(FaultKind::SilentDrop { rate: 0.10 }),
+            false,
+        );
+        s.post_message(HostId(0), HostId(3), 2_000_000, None, Priority::MEASURED);
+        s.run();
+        assert!(s.stats.retransmits > 0);
+        assert_eq!(rec.rtos.get(), s.stats.retransmits);
+    }
+
+    #[test]
+    fn pfc_pause_durations_accumulate_per_priority() {
+        // 4-to-1 incast through a 2-leaf fabric: ingress accounting at the
+        // destination leaf must cross XOFF and pause the spine downlinks.
+        let topo = Topology::fat_tree(FatTreeSpec {
+            leaves: 2,
+            spines: 2,
+            hosts_per_leaf: 4,
+            ..Default::default()
+        });
+        let mut s = Simulator::new(topo, SimConfig::default(), 83);
+        let rec = CountingRec::default();
+        s.set_recorder(Box::new(rec.clone()));
+        for h in 4..8 {
+            s.post_message(HostId(h), HostId(0), 4_000_000, None, Priority::MEASURED);
+        }
+        s.run();
+        assert!(s.all_flows_complete());
+        assert!(s.stats.pfc_pauses > 0, "incast must trigger PFC");
+        // A drained run resumes every pause, so durations cover every
+        // interval and land on the traffic's priority only.
+        assert_eq!(s.stats.pfc_resumes, s.stats.pfc_pauses);
+        let q = Priority::MEASURED.idx();
+        assert!(s.stats.pfc_pause_ns[q] > 0);
+        for (p, &ns) in s.stats.pfc_pause_ns.iter().enumerate() {
+            if p != q {
+                assert_eq!(ns, 0, "no pauses expected at priority {p}");
+            }
+        }
+        // The recorder's histogram feed saw exactly the completed intervals.
+        assert_eq!(rec.pauses.get(), s.stats.pfc_resumes);
+        assert_eq!(rec.pause_ns.get(), s.stats.pfc_pause_ns[q]);
     }
 
     #[test]

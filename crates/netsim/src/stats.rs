@@ -1,5 +1,6 @@
 //! Run-wide statistics and drop accounting.
 
+use crate::packet::NPRIO;
 use serde::{Deserialize, Serialize};
 
 /// Why a packet was dropped.
@@ -60,6 +61,10 @@ pub struct Stats {
     pub pfc_pauses: u64,
     /// PFC resume frames sent.
     pub pfc_resumes: u64,
+    /// Nanoseconds spent paused per priority, summed over all links.
+    /// Counts completed pause intervals only — a pause still open when the
+    /// run ends contributes nothing.
+    pub pfc_pause_ns: [u64; NPRIO],
     /// High-water mark of any single egress queue, in bytes.
     pub max_queue_bytes: u64,
 }

@@ -53,6 +53,45 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// Normalize into the telemetry crate's engine-agnostic [`Event`]
+    /// (fault kinds and drop causes become their `Debug` labels).
+    ///
+    /// [`Event`]: fp_telemetry::Event
+    pub fn to_telemetry(&self) -> fp_telemetry::Event {
+        use fp_telemetry::Event;
+        match *self {
+            TraceEvent::Drop { link, cause, flow } => Event::Drop {
+                link: link.0,
+                cause: format!("{cause:?}"),
+                flow: flow.map(u64::from),
+            },
+            TraceEvent::FaultSet { link, kind } => Event::FaultSet {
+                link: link.0,
+                kind: format!("{kind:?}"),
+            },
+            TraceEvent::FaultCleared { link } => Event::FaultCleared { link: link.0 },
+            TraceEvent::PfcState { link, prio, paused } => Event::Pfc {
+                link: link.0,
+                prio,
+                paused,
+            },
+            TraceEvent::FlowFailed { flow } => Event::FlowFailed {
+                flow: u64::from(flow),
+            },
+        }
+    }
+}
+
+/// A serializable `(time, event)` trace record — what harnesses export.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct TraceRecord {
+    /// Simulated time, nanoseconds.
+    pub t_ns: u64,
+    /// The traced event.
+    pub event: TraceEvent,
+}
+
 /// Bounded ring buffer of `(time, event)` records.
 #[derive(Clone, Debug)]
 pub struct TraceBuffer {
@@ -98,6 +137,32 @@ impl TraceBuffer {
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
+
+    /// True if the ring evicted records (`offered` exceeds what is
+    /// retained) — exports should surface this explicitly.
+    pub fn truncated(&self) -> bool {
+        self.offered > self.buf.len() as u64
+    }
+
+    /// Snapshot the retained records as serializable [`TraceRecord`]s,
+    /// oldest first.
+    pub fn to_records(&self) -> Vec<TraceRecord> {
+        self.buf
+            .iter()
+            .map(|&(at, event)| TraceRecord {
+                t_ns: at.as_ns(),
+                event,
+            })
+            .collect()
+    }
+
+    /// Drain the retained records into a telemetry recorder as structured
+    /// events (oldest first). The buffer itself is not modified.
+    pub fn export_into(&self, rec: &mut dyn fp_telemetry::Recorder) {
+        for (at, ev) in self.buf.iter() {
+            rec.on_event(at.as_ns(), &ev.to_telemetry());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -125,5 +190,67 @@ mod tests {
         t.push(SimTime::ZERO, TraceEvent::FlowFailed { flow: 1 });
         assert!(t.is_empty());
         assert_eq!(t.offered, 1);
+        assert!(t.truncated());
+    }
+
+    #[test]
+    fn truncation_is_flagged_only_after_eviction() {
+        let mut t = TraceBuffer::new(2);
+        t.push(SimTime::from_ns(1), TraceEvent::FlowFailed { flow: 1 });
+        t.push(SimTime::from_ns(2), TraceEvent::FlowFailed { flow: 2 });
+        assert!(!t.truncated());
+        t.push(SimTime::from_ns(3), TraceEvent::FlowFailed { flow: 3 });
+        assert!(t.truncated());
+    }
+
+    #[test]
+    fn records_snapshot_and_telemetry_export_agree() {
+        let mut t = TraceBuffer::new(8);
+        t.push(
+            SimTime::from_ns(10),
+            TraceEvent::FaultSet {
+                link: LinkId(4),
+                kind: FaultKind::SilentBlackhole,
+            },
+        );
+        t.push(
+            SimTime::from_ns(20),
+            TraceEvent::PfcState {
+                link: LinkId(2),
+                prio: 1,
+                paused: true,
+            },
+        );
+        let recs = t.to_records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].t_ns, 10);
+        assert_eq!(recs[1].event, t.records().nth(1).unwrap().1);
+
+        struct Collect(Vec<(u64, fp_telemetry::Event)>);
+        impl fp_telemetry::Recorder for Collect {
+            fn on_event(&mut self, t_ns: u64, ev: &fp_telemetry::Event) {
+                self.0.push((t_ns, ev.clone()));
+            }
+        }
+        let mut c = Collect(Vec::new());
+        t.export_into(&mut c);
+        assert_eq!(c.0.len(), 2);
+        assert_eq!(
+            c.0[0].1,
+            fp_telemetry::Event::FaultSet {
+                link: 4,
+                kind: "SilentBlackhole".into()
+            }
+        );
+        assert_eq!(
+            c.0[1].1,
+            fp_telemetry::Event::Pfc {
+                link: 2,
+                prio: 1,
+                paused: true
+            }
+        );
+        // Export does not consume the buffer.
+        assert_eq!(t.len(), 2);
     }
 }

@@ -1,0 +1,106 @@
+//! Structured event export: what happened, when, machine-readable.
+//!
+//! Every exceptional occurrence the simulator traces — plus monitor alarms
+//! and run milestones from the evaluation harness — is normalized into one
+//! [`Event`] and written to `events.jsonl` as a single-line JSON object
+//! (serde external tagging: `{"t_ns": 123, "event": {"Drop": {...}}}`).
+
+use serde::{Deserialize, Serialize};
+
+/// One structured telemetry event.
+#[derive(Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub enum Event {
+    /// A packet was dropped.
+    Drop {
+        /// Link where the drop occurred.
+        link: u32,
+        /// Drop cause label (mirrors `fp_netsim::DropCause`).
+        cause: String,
+        /// Owning flow for data packets.
+        flow: Option<u64>,
+    },
+    /// A fault was installed on a link.
+    FaultSet {
+        /// Target link.
+        link: u32,
+        /// Fault kind label (mirrors `fp_netsim::FaultKind`).
+        kind: String,
+    },
+    /// A fault was cleared.
+    FaultCleared {
+        /// Target link.
+        link: u32,
+    },
+    /// PFC pause state changed at the transmitter of `link`.
+    Pfc {
+        /// Affected link.
+        link: u32,
+        /// Priority class.
+        prio: u8,
+        /// New state.
+        paused: bool,
+    },
+    /// A flow gave up retransmitting.
+    FlowFailed {
+        /// The abandoned flow.
+        flow: u64,
+    },
+    /// The FlowPulse monitor raised an alarm.
+    Alarm {
+        /// Collective iteration the alarm fired on.
+        iter: u32,
+        /// Leaf whose counters deviated.
+        leaf: u32,
+        /// Worst relative deviation across the leaf's ports.
+        worst_rel: f64,
+    },
+    /// A named run milestone (fault installed/healed, detection, ...).
+    Milestone {
+        /// Short machine-stable name, e.g. `"fault_installed"`.
+        name: String,
+        /// Free-form detail for humans.
+        detail: String,
+    },
+}
+
+/// A timestamped [`Event`] — one line of `events.jsonl`.
+#[derive(Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct EventRecord {
+    /// Simulated time, nanoseconds.
+    pub t_ns: u64,
+    /// The event.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_as_json_lines() {
+        let recs = vec![
+            EventRecord {
+                t_ns: 5,
+                event: Event::Drop {
+                    link: 3,
+                    cause: "SilentFault".into(),
+                    flow: Some(9),
+                },
+            },
+            EventRecord {
+                t_ns: 7,
+                event: Event::Alarm {
+                    iter: 2,
+                    leaf: 1,
+                    worst_rel: 0.25,
+                },
+            },
+        ];
+        for r in &recs {
+            let line = serde_json::to_string(r).unwrap();
+            assert!(!line.contains('\n'), "JSONL lines must be single-line");
+            let back: EventRecord = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, r);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Campaign run manifests: make `results/` artifacts self-describing.
+//!
+//! A campaign that runs with `FP_TELEMETRY=dir` writes one
+//! `dir/<name>/manifest.json` recording the exact trial specs, seeds,
+//! thread count, and code revision that produced the artifacts, plus
+//! wall-time totals — enough to reproduce or audit a run months later.
+
+use serde::{Serialize, Value};
+use std::path::Path;
+
+/// Self-description of one campaign (or single-trial) run.
+#[derive(Clone, Serialize, Debug)]
+pub struct Manifest {
+    /// Campaign name (e.g. the sweep binary: `"fig5a"`, `"headline"`).
+    pub name: String,
+    /// `git describe --always --dirty` of the producing tree.
+    pub git: String,
+    /// Worker threads the campaign ran with.
+    pub threads: u64,
+    /// Whether `FP_QUICK` reduced the sweep.
+    pub quick: bool,
+    /// Trial count.
+    pub trials: u64,
+    /// Seeds, in spec order.
+    pub seeds: Vec<u64>,
+    /// Total wall-clock across trials, microseconds.
+    pub wall_us_total: u64,
+    /// Total engine events across trials.
+    pub events_total: u64,
+    /// Engine events per wall-clock second, aggregated.
+    pub events_per_sec: f64,
+    /// The full trial spec list, serialized by the caller.
+    pub specs: Value,
+}
+
+impl Manifest {
+    /// Write `manifest.json` into `dir` (created if needed).
+    pub fn write(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut json = serde_json::to_string_pretty(self).map_err(std::io::Error::other)?;
+        json.push('\n');
+        std::fs::write(dir.join("manifest.json"), json)
+    }
+}
+
+/// `git describe --always --dirty` of the current working directory's
+/// repository, or `"unknown"` when git is unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = Manifest {
+            name: "fig5a".into(),
+            git: "abc1234".into(),
+            threads: 4,
+            quick: true,
+            trials: 2,
+            seeds: vec![1000, 1001],
+            wall_us_total: 120,
+            events_total: 9000,
+            events_per_sec: 7.5e7,
+            specs: Value::Seq(vec![Value::Map(vec![(
+                "seed".to_string(),
+                Value::U64(1000),
+            )])]),
+        };
+        let dir = std::env::temp_dir().join(format!("fp-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        m.write(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let map = v.as_map().unwrap();
+        let get = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        assert_eq!(get("name").and_then(Value::as_str), Some("fig5a"));
+        assert_eq!(get("trials").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            get("specs").and_then(Value::as_seq).map(<[Value]>::len),
+            Some(1)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let g = git_describe();
+        assert!(!g.is_empty());
+    }
+}

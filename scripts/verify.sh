@@ -20,7 +20,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 BINARIES=(fig5a fig5b fig5c preexisting ablate_spray ablate_jitter)
 t1="$(mktemp -d)"
 t4="$(mktemp -d)"
-trap 'rm -rf "$t1" "$t4"' EXIT
+tt="$(mktemp -d)"
+trap 'rm -rf "$t1" "$t4" "$tt"' EXIT
 
 echo "==> FP_QUICK smoke: ${BINARIES[*]} at FP_THREADS=1 and FP_THREADS=4"
 for bin in "${BINARIES[@]}"; do
@@ -31,5 +32,19 @@ for bin in "${BINARIES[@]}"; do
     cmp "$t1/$bin.json" "$t4/$bin.json"
     echo "    $bin: JSON byte-identical across thread counts"
 done
+
+echo "==> telemetry smoke: headline with FP_TELEMETRY, then schema validation"
+FP_QUICK=1 FP_RESULTS="$t4" \
+    cargo run --release -q -p fp-bench --bin headline >/dev/null
+FP_QUICK=1 FP_TELEMETRY="$tt" FP_RESULTS="$t1" \
+    cargo run --release -q -p fp-bench --bin headline >/dev/null
+cmp "$t1/headline.json" "$t4/headline.json"
+echo "    headline: JSON byte-identical with telemetry on vs off"
+for f in events.jsonl samples.jsonl histograms.json trace.json manifest.json; do
+    test -s "$tt/headline/$f"
+done
+FP_TELEMETRY_CHECK="$tt/headline" \
+    cargo test --release -q -p fp-bench --test telemetry_schema
+echo "    telemetry artifacts validate (JSONL schema + Chrome trace)"
 
 echo "verify: OK"

@@ -346,6 +346,22 @@ impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> 
     }
 }
 
+// Identity impls: a `Value` serializes to itself and deserializes from
+// itself. This is what lets callers parse arbitrary JSON with
+// `serde_json::from_str::<Value>` (schema validation, generic payloads)
+// and embed pre-built `Value` trees inside derived structs.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
