@@ -1,0 +1,105 @@
+//! P2 — event-scheduler microbenchmarks: binary heap vs timing wheel.
+//!
+//! Two shapes, each swept over both backends:
+//!
+//! * **steady-state churn** over event-horizon mixes — a fixed pending
+//!   population where every pop schedules a replacement at an offset drawn
+//!   from the mix. `near` models serialization/latency events (sub-µs),
+//!   `rto` models retransmission timers (hundreds of µs), `mixed` is the
+//!   engine's real blend, `far` forces the wheel's overflow heap (> 4 s).
+//! * **end-to-end trial** — one small Ring-AllReduce trial pinned to each
+//!   scheduler via `SimConfig::sched`, so the win is measured where it
+//!   matters, not just in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowpulse::prelude::*;
+use fp_netsim::engine::{EventKind, EventQueue, SchedKind, Scheduler};
+use fp_netsim::ids::HostId;
+use fp_netsim::rng::splitmix64;
+use fp_netsim::time::SimTime;
+
+/// Offset mixes, in nanoseconds ahead of the current cursor.
+const MIXES: &[(&str, &[u64])] = &[
+    // Wire events: serialization of 1–9 KiB at 100 Gb/s plus short latency.
+    ("near", &[80, 250, 720, 1_500]),
+    // Retransmission timers.
+    ("rto", &[200_000, 1_000_000, 4_000_000]),
+    // The engine's real blend: mostly wire events, some timers, rare ticks.
+    ("mixed", &[120, 480, 1_500, 250_000, 1_000_000, 50_000_000]),
+    // Beyond the wheel's 2^32 ns horizon — lands in the overflow heap.
+    ("far", &[5_000_000_000, 20_000_000_000]),
+];
+
+const PENDING: usize = 4096;
+const CHURN_OPS: u64 = 100_000;
+
+fn wake(token: u64) -> EventKind {
+    EventKind::Wake {
+        host: HostId(0),
+        token,
+    }
+}
+
+/// Hold `PENDING` events in flight; every pop pushes a replacement at
+/// `now + mix[rng]`. Returns a checksum so the work can't be elided.
+fn churn(kind: SchedKind, offsets: &[u64]) -> u64 {
+    let mut q = EventQueue::new(kind);
+    let mut state = 0xF10Fu64;
+    let mut draw = |now: u64| {
+        state = splitmix64(state);
+        now + offsets[(state % offsets.len() as u64) as usize]
+    };
+    for i in 0..PENDING as u64 {
+        let at = draw(0);
+        q.push(SimTime::from_ns(at), wake(i));
+    }
+    let mut sum = 0u64;
+    for i in 0..CHURN_OPS {
+        let (at, _) = q.pop().expect("population is never exhausted");
+        sum = sum.wrapping_add(at.as_ns());
+        let next = draw(at.as_ns());
+        q.push(SimTime::from_ns(next), wake(i));
+    }
+    sum
+}
+
+fn bench_churn(c: &mut Criterion) {
+    for (mix, offsets) in MIXES {
+        let name = format!("sched/churn_{mix}");
+        let mut g = c.benchmark_group(&name);
+        g.throughput(Throughput::Elements(CHURN_OPS));
+        for kind in [SchedKind::Heap, SchedKind::Wheel] {
+            g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+                b.iter(|| churn(k, offsets))
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_trial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched/ring_trial_8x4_2MiB");
+    g.sample_size(10);
+    for kind in [SchedKind::Heap, SchedKind::Wheel] {
+        let spec = TrialSpec {
+            leaves: 8,
+            spines: 4,
+            bytes_per_node: 2 * 1024 * 1024,
+            iterations: 2,
+            sim: fp_netsim::config::SimConfig {
+                sched: Some(kind),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &spec,
+            |b, spec| b.iter(|| run_trial(spec).stats.events),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_churn, bench_trial);
+criterion_main!(benches);

@@ -68,10 +68,33 @@ fn main() {
     if let Err(e) = fp_bench::log_trials_to(&log_path, "headline", 1, &timing, wall_us) {
         eprintln!("warning: cannot append campaign log: {e}");
     }
+    match fp_bench::record_bench(&fp_bench::BenchEntry {
+        name: "headline".into(),
+        git: fp_telemetry::git_describe(),
+        scheduler: r.sched_kind.name().into(),
+        threads: 1,
+        quick: fp_bench::quick(),
+        trials: 1,
+        wall_us,
+        events: r.stats.events,
+        events_per_sec: r.stats.events as f64 * 1e6 / wall_us as f64,
+    }) {
+        Ok(Some(p)) => println!("[bench {}]", p.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: cannot update bench json: {e}"),
+    }
     if let Some(dir) = &telemetry {
-        fp_bench::campaign_manifest("headline", 1, std::slice::from_ref(&spec), &timing, wall_us)
-            .write(dir)
-            .expect("write manifest");
+        fp_bench::campaign_manifest(
+            "headline",
+            1,
+            std::slice::from_ref(&spec),
+            &timing,
+            wall_us,
+            r.sched_kind,
+            &r.sched,
+        )
+        .write(dir)
+        .expect("write manifest");
         println!("[telemetry {}]", dir.display());
     }
     let (clean, faulty) = flowpulse::eval::split_devs(&r);

@@ -18,6 +18,7 @@
 //! that same order.
 
 use flowpulse::prelude::{run_trial, TrialResult, TrialSpec};
+use fp_netsim::engine::{SchedKind, SchedStats};
 use serde::Serialize;
 use std::io::Write;
 use std::path::Path;
@@ -120,8 +121,33 @@ impl Campaign {
                 log_path.display()
             );
         }
+        let (sched_kind, sched) = aggregate_sched(&results);
+        let events_total: u64 = timings.iter().map(|t| t.events).sum();
+        match crate::record_bench(&crate::BenchEntry {
+            name: name.to_string(),
+            git: fp_telemetry::git_describe(),
+            scheduler: sched_kind.name().to_string(),
+            threads: self.threads as u64,
+            quick: crate::quick(),
+            trials: specs.len() as u64,
+            wall_us: wall_us_total,
+            events: events_total,
+            events_per_sec: events_total as f64 * 1e6 / wall_us_total as f64,
+        }) {
+            Ok(Some(p)) => println!("[bench {}]", p.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: cannot update bench json: {e}"),
+        }
         if let Some(dir) = fp_telemetry::dir_from_env() {
-            let m = campaign_manifest(name, self.threads, specs, &timings, wall_us_total);
+            let m = campaign_manifest(
+                name,
+                self.threads,
+                specs,
+                &timings,
+                wall_us_total,
+                sched_kind,
+                &sched,
+            );
             let mdir = dir.join(name);
             match m.write(&mdir) {
                 Ok(()) => println!("[manifest {}]", mdir.join("manifest.json").display()),
@@ -132,13 +158,30 @@ impl Campaign {
     }
 }
 
+/// Aggregate scheduler identity and occupancy counters over a campaign's
+/// results (max of high-water marks, sums of traffic counters). The kind is
+/// taken from the first trial; campaigns never mix backends unless a spec
+/// explicitly pins one, in which case the first trial's still describes the
+/// headline run.
+pub fn aggregate_sched(results: &[TrialResult]) -> (SchedKind, SchedStats) {
+    let kind = results.first().map(|r| r.sched_kind).unwrap_or_default();
+    let mut agg = SchedStats::default();
+    for r in results {
+        agg.merge(&r.sched);
+    }
+    (kind, agg)
+}
+
 /// Build the self-describing [`fp_telemetry::Manifest`] for one campaign.
+#[allow(clippy::too_many_arguments)]
 pub fn campaign_manifest(
     name: &str,
     threads: usize,
     specs: &[TrialSpec],
     timings: &[TrialTiming],
     wall_us_total: u64,
+    sched_kind: SchedKind,
+    sched: &SchedStats,
 ) -> fp_telemetry::Manifest {
     let events_total: u64 = timings.iter().map(|t| t.events).sum();
     fp_telemetry::Manifest {
@@ -155,6 +198,8 @@ pub fn campaign_manifest(
         } else {
             events_total as f64 * 1e6 / wall_us_total as f64
         },
+        scheduler: sched_kind.name().to_string(),
+        sched: sched.to_value(),
         specs: specs.to_value(),
     }
 }
@@ -368,13 +413,54 @@ mod tests {
                 events: 1_000_000,
             },
         ];
-        let m = campaign_manifest("demo", 4, &specs, &timings, 1_000_000);
+        let stats = SchedStats {
+            max_pending: 42,
+            ..SchedStats::default()
+        };
+        let m = campaign_manifest(
+            "demo",
+            4,
+            &specs,
+            &timings,
+            1_000_000,
+            SchedKind::Wheel,
+            &stats,
+        );
         assert_eq!(m.trials, 2);
         assert_eq!(m.seeds, vec![7, 8]);
         assert_eq!(m.events_total, 4_000_000);
         assert!((m.events_per_sec - 4_000_000.0).abs() < 1e-6);
+        assert_eq!(m.scheduler, "wheel");
+        // Slot-occupancy stats are embedded as a map.
+        let sched = m.sched.as_map().expect("sched is a map");
+        assert!(sched
+            .iter()
+            .any(|(k, v)| k == "max_pending" && v.as_u64() == Some(42)));
         // The spec list is embedded verbatim.
         assert_eq!(m.specs.as_seq().map(<[serde::Value]>::len), Some(2));
+    }
+
+    #[test]
+    fn aggregate_sched_merges_counters() {
+        use flowpulse::prelude::run_trial;
+        let spec = TrialSpec {
+            leaves: 4,
+            spines: 2,
+            bytes_per_node: 64 * 1024,
+            iterations: 1,
+            ..TrialSpec::default()
+        };
+        let mut wheel_spec = spec.clone();
+        wheel_spec.sim.sched = Some(SchedKind::Wheel);
+        let results = vec![run_trial(&wheel_spec), run_trial(&wheel_spec)];
+        let (kind, agg) = aggregate_sched(&results);
+        assert_eq!(kind, SchedKind::Wheel);
+        let one = results[0].sched;
+        assert!(agg.max_pending >= one.max_pending);
+        assert_eq!(
+            agg.level_pushes.iter().sum::<u64>(),
+            2 * one.level_pushes.iter().sum::<u64>()
+        );
     }
 
     #[test]

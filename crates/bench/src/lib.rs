@@ -23,8 +23,10 @@
 //! `FP_THREADS` sets the pool size (default: all cores) without changing a
 //! byte of the output.
 
+pub mod bench_json;
 pub mod campaign;
 
+pub use bench_json::{record_bench, record_bench_at, BenchEntry};
 pub use campaign::{campaign_manifest, log_trials_to, Campaign, TrialTiming};
 
 use serde::Serialize;

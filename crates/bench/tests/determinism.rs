@@ -111,6 +111,51 @@ fn attached_recorder_never_changes_sweep_bytes() {
 }
 
 #[test]
+fn heap_and_wheel_schedulers_are_byte_identical() {
+    // The headline spec (quick scale) run once per scheduler backend: the
+    // event queue is an implementation detail, so every serialized row —
+    // and the raw engine accounting — must match byte for byte.
+    use fp_netsim::engine::SchedKind;
+    let spec_for = |kind: SchedKind| TrialSpec {
+        leaves: 8,
+        spines: 4,
+        bytes_per_node: 8 * 1024 * 1024,
+        iterations: 3,
+        fault: Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.015 },
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        }),
+        seed: 2025,
+        sim: fp_netsim::config::SimConfig {
+            sched: Some(kind),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let heap_specs = vec![spec_for(SchedKind::Heap)];
+    let wheel_specs = vec![spec_for(SchedKind::Wheel)];
+    let heap = Campaign::with_threads(2).run(&heap_specs);
+    let wheel = Campaign::with_threads(2).run(&wheel_specs);
+    assert_eq!(heap[0].sched_kind, SchedKind::Heap);
+    assert_eq!(wheel[0].sched_kind, SchedKind::Wheel);
+    assert_eq!(
+        serialize_rows(&heap_specs, &heap),
+        serialize_rows(&wheel_specs, &wheel),
+        "FP_SCHED must not change output bytes"
+    );
+    for (a, b) in heap.iter().zip(&wheel) {
+        assert_eq!(a.iter_max_dev, b.iter_max_dev);
+        assert_eq!(a.fault_port, b.fault_port);
+        assert_eq!(a.alarms, b.alarms);
+        assert_eq!(a.stats.events, b.stats.events);
+        assert_eq!(a.stats.pkts_txed, b.stats.pkts_txed);
+        assert_eq!(a.stats.retransmits, b.stats.retransmits);
+    }
+}
+
+#[test]
 fn fp_threads_env_sets_pool_size() {
     // This is the only test in this binary touching FP_THREADS, so the
     // process-global env mutation cannot race another test.

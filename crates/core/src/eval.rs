@@ -190,6 +190,11 @@ pub struct TrialResult {
     pub predicted_by_src: Option<PortSrcLoads>,
     /// Per-sender observed loads per iteration.
     pub observed_by_src: Vec<PortSrcLoads>,
+    /// Which event-scheduler backend ran the trial (telemetry only; result
+    /// rows never serialize this, so heap/wheel runs stay byte-identical).
+    pub sched_kind: fp_netsim::engine::SchedKind,
+    /// Scheduler occupancy counters (telemetry only, like `sched_kind`).
+    pub sched: fp_netsim::engine::SchedStats,
 }
 
 // `fp-bench` campaigns fan trials out across worker threads; this fails to
@@ -502,6 +507,8 @@ pub fn run_trial_with(
         predicted,
         predicted_by_src,
         observed_by_src,
+        sched_kind: sim.sched_kind(),
+        sched: sim.sched_stats(),
     };
     (result, recorder)
 }

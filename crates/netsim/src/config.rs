@@ -1,5 +1,6 @@
 //! Simulator configuration.
 
+use crate::engine::SchedKind;
 use crate::spray::SprayPolicy;
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -68,6 +69,11 @@ pub struct SimConfig {
     pub pfc: PfcConfig,
     /// Hard safety limit on processed events (guards runaway configs).
     pub max_events: u64,
+    /// Future-event scheduler backend. `None` (the default, and what specs
+    /// that predate the field deserialize to) resolves from the `FP_SCHED`
+    /// environment variable at simulator construction; the choice never
+    /// affects results, only speed.
+    pub sched: Option<SchedKind>,
 }
 
 impl Default for SimConfig {
@@ -86,6 +92,7 @@ impl Default for SimConfig {
             spray_tau: SimDuration::from_us(100),
             pfc: PfcConfig::default(),
             max_events: u64::MAX,
+            sched: None,
         }
     }
 }

@@ -1,12 +1,19 @@
-//! The discrete-event core: a deterministic min-heap of timed events.
+//! The discrete-event core: deterministic future-event schedulers.
 //!
-//! Events at equal timestamps are processed in insertion order (a per-heap
+//! Two interchangeable backends implement the [`Scheduler`] trait: the
+//! original binary min-heap ([`EventHeap`]) and the hierarchical timing
+//! wheel ([`TimingWheel`], the default — see [`crate::wheel`]). Events at
+//! equal timestamps are processed in insertion order (a per-scheduler
 //! sequence number breaks ties), so runs are bit-for-bit reproducible for a
-//! given seed regardless of platform.
+//! given seed regardless of platform *and of scheduler backend*. The
+//! backend is chosen per simulator via [`SchedKind`], resolvable from the
+//! `FP_SCHED` environment variable for A/B validation.
 
 use crate::ids::{HostId, LinkId};
 use crate::packet::{FlowId, Packet};
 use crate::time::SimTime;
+use crate::wheel::TimingWheel;
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -81,6 +88,120 @@ pub enum EventKind {
     Sample,
 }
 
+// `Delivery` carries `Packet` *by value*: scheduler entries are moved into
+// slot buckets and copied again on every timing-wheel cascade, so growing
+// `EventKind` (via `Packet` or a new variant) silently taxes the hottest
+// path in the simulator. Today that is exactly an 8-byte header (tag +
+// `LinkId`) plus the 64-byte `Packet` (itself size-guarded in `packet.rs`);
+// if a variant ever needs more, box its payload instead of raising this.
+const _: () = assert!(std::mem::size_of::<EventKind>() <= 72);
+
+/// Which future-event scheduler backs a simulator.
+#[derive(Copy, Clone, PartialEq, Eq, Serialize, Deserialize, Debug, Default)]
+pub enum SchedKind {
+    /// Binary min-heap (`O(log n)` push/pop) — the original backend, kept
+    /// selectable as the A/B baseline.
+    Heap,
+    /// Hierarchical timing wheel (`O(1)` near-future push/pop) — the
+    /// default.
+    #[default]
+    Wheel,
+}
+
+impl SchedKind {
+    /// Resolve from the `FP_SCHED` environment variable: `heap` or `wheel`
+    /// (unset defaults to the wheel). Any other value panics — a typo in an
+    /// A/B run must not silently fall back to the default.
+    pub fn from_env() -> SchedKind {
+        match std::env::var("FP_SCHED") {
+            Ok(v) if v == "heap" => SchedKind::Heap,
+            Ok(v) if v == "wheel" || v.is_empty() => SchedKind::Wheel,
+            Ok(v) => panic!("FP_SCHED={v:?} not recognized (expected \"heap\" or \"wheel\")"),
+            Err(_) => SchedKind::Wheel,
+        }
+    }
+
+    /// Stable lowercase name (`"heap"` / `"wheel"`), matching the
+    /// `FP_SCHED` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedKind::Heap => "heap",
+            SchedKind::Wheel => "wheel",
+        }
+    }
+}
+
+/// Occupancy / traffic counters a scheduler accumulates over its lifetime.
+///
+/// These are *observability only*: they are reported through telemetry
+/// manifests, never through trial result rows, so heap and wheel runs stay
+/// byte-identical where determinism is asserted.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug, Default)]
+pub struct SchedStats {
+    /// High-water mark of pending events.
+    pub max_pending: u64,
+    /// Slot insertions per wheel level (direct pushes *and* cascade
+    /// re-files). All zero for the heap backend.
+    pub level_pushes: [u64; crate::wheel::WHEEL_LEVELS],
+    /// Events filed beyond the wheel horizon into the overflow spill.
+    pub spill_pushes: u64,
+    /// Higher-level slots drained and re-filed one level down.
+    pub cascades: u64,
+    /// Entries moved by those cascades.
+    pub cascaded_entries: u64,
+    /// Pushes that landed below a peek-advanced cursor and were spliced
+    /// straight into the due buffer (rare; see [`crate::wheel`]).
+    pub due_splices: u64,
+}
+
+impl SchedStats {
+    /// Accumulate another scheduler's counters (campaign aggregation).
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.max_pending = self.max_pending.max(other.max_pending);
+        for (a, b) in self.level_pushes.iter_mut().zip(other.level_pushes) {
+            *a += b;
+        }
+        self.spill_pushes += other.spill_pushes;
+        self.cascades += other.cascades;
+        self.cascaded_entries += other.cascaded_entries;
+        self.due_splices += other.due_splices;
+    }
+}
+
+/// Common surface of the future-event list backends.
+///
+/// Implementations must be deterministic: every `pop` yields the earliest
+/// *currently pending* event, and events with equal timestamps come out in
+/// global insertion order regardless of how they were internally filed.
+/// (The popped sequence is not globally nondecreasing: popping a
+/// lazily-cancelled RTO timer consumes a future timestamp without
+/// advancing the simulator clock, so a later push may legally be earlier
+/// than an already-popped stale timer.)
+pub trait Scheduler {
+    /// Schedule `kind` at absolute time `at`. Any `at` is legal, including
+    /// one below previously popped timestamps (see the trait docs).
+    fn push(&mut self, at: SimTime, kind: EventKind);
+    /// Pop the earliest event.
+    fn pop(&mut self) -> Option<(SimTime, EventKind)>;
+    /// Pop the earliest event if it is due at or before `horizon`.
+    fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, EventKind)>;
+    /// Timestamp of the next event without removing it. Takes `&mut self`
+    /// because the wheel advances its cursor lazily on peek.
+    fn peek_time(&mut self) -> Option<SimTime>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// True if nothing is scheduled.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Total events ever scheduled (monotonic).
+    fn scheduled(&self) -> u64;
+    /// Which backend this is.
+    fn kind(&self) -> SchedKind;
+    /// Lifetime occupancy counters.
+    fn stats(&self) -> SchedStats;
+}
+
 struct HeapEntry {
     at: SimTime,
     seq: u64,
@@ -121,6 +242,8 @@ pub struct EventHeap {
     seq: u64,
     /// Cached copy of `heap.peek().at`; `None` iff the heap is empty.
     next_at: Option<SimTime>,
+    /// High-water mark of pending events.
+    max_pending: u64,
 }
 
 impl EventHeap {
@@ -137,13 +260,20 @@ impl EventHeap {
             self.next_at = Some(at);
         }
         self.heap.push(HeapEntry { at, seq, kind });
+        self.max_pending = self.max_pending.max(self.heap.len() as u64);
     }
 
     /// Pop the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
-        let popped = self.heap.pop().map(|e| (e.at, e.kind));
-        self.next_at = self.heap.peek().map(|e| e.at);
-        popped
+        let popped = self.heap.pop()?;
+        // Refresh the cached head only while the heap is nonempty; when the
+        // pop emptied it, `peek()` would dereference just to store `None`.
+        self.next_at = if self.heap.is_empty() {
+            None
+        } else {
+            self.heap.peek().map(|e| e.at)
+        };
+        Some((popped.at, popped.kind))
     }
 
     /// Pop the earliest event if it is due at or before `horizon`.
@@ -175,6 +305,112 @@ impl EventHeap {
     /// Total events ever scheduled (monotonic).
     pub fn scheduled(&self) -> u64 {
         self.seq
+    }
+}
+
+impl Scheduler for EventHeap {
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        EventHeap::push(self, at, kind);
+    }
+    fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        EventHeap::pop(self)
+    }
+    fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, EventKind)> {
+        EventHeap::pop_at_or_before(self, horizon)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        EventHeap::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        EventHeap::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        EventHeap::is_empty(self)
+    }
+    fn scheduled(&self) -> u64 {
+        EventHeap::scheduled(self)
+    }
+    fn kind(&self) -> SchedKind {
+        SchedKind::Heap
+    }
+    fn stats(&self) -> SchedStats {
+        SchedStats {
+            max_pending: self.max_pending,
+            ..SchedStats::default()
+        }
+    }
+}
+
+/// Statically-dispatched scheduler selection.
+///
+/// The event loop is the hottest code in the workspace; an enum over the
+/// two [`Scheduler`] backends keeps every call site a direct (inlinable)
+/// match instead of a vtable hop through `dyn Scheduler`.
+pub enum EventQueue {
+    /// Binary min-heap backend.
+    Heap(EventHeap),
+    /// Hierarchical timing-wheel backend.
+    Wheel(Box<TimingWheel>),
+}
+
+impl EventQueue {
+    /// Empty queue of the requested backend.
+    pub fn new(kind: SchedKind) -> EventQueue {
+        match kind {
+            SchedKind::Heap => EventQueue::Heap(EventHeap::new()),
+            SchedKind::Wheel => EventQueue::Wheel(Box::default()),
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $q:ident => $e:expr) => {
+        match $self {
+            EventQueue::Heap($q) => $e,
+            EventQueue::Wheel($q) => $e,
+        }
+    };
+}
+
+impl Scheduler for EventQueue {
+    #[inline]
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        dispatch!(self, q => q.push(at, kind))
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        dispatch!(self, q => q.pop())
+    }
+    #[inline]
+    fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, EventKind)> {
+        dispatch!(self, q => q.pop_at_or_before(horizon))
+    }
+    #[inline]
+    fn peek_time(&mut self) -> Option<SimTime> {
+        dispatch!(self, q => q.peek_time())
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        dispatch!(self, q => q.len())
+    }
+    #[inline]
+    fn is_empty(&self) -> bool {
+        dispatch!(self, q => q.is_empty())
+    }
+    fn scheduled(&self) -> u64 {
+        dispatch!(self, q => q.scheduled())
+    }
+    fn kind(&self) -> SchedKind {
+        match self {
+            EventQueue::Heap(_) => SchedKind::Heap,
+            EventQueue::Wheel(_) => SchedKind::Wheel,
+        }
+    }
+    fn stats(&self) -> SchedStats {
+        match self {
+            EventQueue::Heap(q) => Scheduler::stats(q),
+            EventQueue::Wheel(q) => q.stats(),
+        }
     }
 }
 
@@ -273,5 +509,90 @@ mod tests {
         }
         h.pop();
         assert_eq!(h.scheduled(), 5);
+    }
+
+    #[test]
+    fn cached_peek_cleared_when_pop_empties_heap() {
+        let mut h = EventHeap::new();
+        let (t, k) = wake(7, 0);
+        h.push(t, k);
+        assert_eq!(h.pop().map(|(t, _)| t.as_ns()), Some(7));
+        assert_eq!(h.peek_time(), None);
+        assert!(h.pop().is_none());
+        assert_eq!(h.peek_time(), None);
+    }
+
+    #[test]
+    fn heap_stats_track_high_water_mark() {
+        let mut h = EventHeap::new();
+        for i in 0..4u64 {
+            let (t, k) = wake(i, i);
+            h.push(t, k);
+        }
+        h.pop();
+        h.pop();
+        let (t, k) = wake(9, 9);
+        h.push(t, k);
+        assert_eq!(Scheduler::stats(&h).max_pending, 4);
+        assert_eq!(Scheduler::stats(&h).cascades, 0);
+    }
+
+    #[test]
+    fn sched_kind_names_and_default() {
+        assert_eq!(SchedKind::default(), SchedKind::Wheel);
+        assert_eq!(SchedKind::Heap.name(), "heap");
+        assert_eq!(SchedKind::Wheel.name(), "wheel");
+    }
+
+    #[test]
+    fn sched_stats_merge_sums_and_maxes() {
+        let a = SchedStats {
+            max_pending: 10,
+            level_pushes: [1, 2, 3, 4],
+            spill_pushes: 5,
+            cascades: 6,
+            cascaded_entries: 7,
+            due_splices: 1,
+        };
+        let mut m = SchedStats {
+            max_pending: 3,
+            level_pushes: [10, 0, 0, 0],
+            spill_pushes: 1,
+            cascades: 1,
+            cascaded_entries: 1,
+            due_splices: 0,
+        };
+        m.merge(&a);
+        assert_eq!(m.max_pending, 10);
+        assert_eq!(m.level_pushes, [11, 2, 3, 4]);
+        assert_eq!(m.spill_pushes, 6);
+        assert_eq!(m.cascades, 7);
+        assert_eq!(m.cascaded_entries, 8);
+        assert_eq!(m.due_splices, 1);
+    }
+
+    #[test]
+    fn event_queue_dispatches_to_both_backends() {
+        for kind in [SchedKind::Heap, SchedKind::Wheel] {
+            let mut q = EventQueue::new(kind);
+            assert_eq!(Scheduler::kind(&q), kind);
+            assert!(q.is_empty());
+            for (t, tok) in [(30u64, 0u64), (10, 1), (30, 2)] {
+                let (at, k) = wake(t, tok);
+                q.push(at, k);
+            }
+            assert_eq!(q.len(), 3);
+            assert_eq!(q.scheduled(), 3);
+            assert_eq!(q.peek_time(), Some(SimTime::from_ns(10)));
+            let order: Vec<(u64, u64)> = std::iter::from_fn(|| {
+                q.pop().map(|(t, k)| match k {
+                    EventKind::Wake { token, .. } => (t.as_ns(), token),
+                    _ => unreachable!(),
+                })
+            })
+            .collect();
+            assert_eq!(order, vec![(10, 1), (30, 0), (30, 2)], "kind={kind:?}");
+            assert_eq!(Scheduler::stats(&q).max_pending, 3);
+        }
     }
 }

@@ -61,12 +61,14 @@ pub mod topology;
 pub mod trace;
 pub mod transport;
 pub mod units;
+pub mod wheel;
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::app::{Application, MultiApp, NullApp};
     pub use crate::config::{PfcConfig, SimConfig};
     pub use crate::counters::{CounterStore, IterCounters};
+    pub use crate::engine::{SchedKind, SchedStats};
     pub use crate::fault::{FaultAction, FaultEvent, FaultKind};
     pub use crate::ids::{HostId, LinkId, NodeId, SwitchId};
     pub use crate::packet::{CollectiveTag, FlowId, Packet, Priority};

@@ -21,7 +21,7 @@
 use crate::app::Application;
 use crate::config::SimConfig;
 use crate::counters::CounterStore;
-use crate::engine::{EventHeap, EventKind};
+use crate::engine::{EventKind, EventQueue, SchedKind, SchedStats, Scheduler};
 use crate::fault::{FaultAction, FaultEvent, FaultKind};
 use crate::ids::{HostId, LinkId, NodeId, SwitchId};
 use crate::packet::{AckBlock, CollectiveTag, FlowId, Packet, PacketKind, Priority, NPRIO};
@@ -159,7 +159,8 @@ pub struct Simulator {
     /// The fabric.
     pub topo: Topology,
     now: SimTime,
-    heap: EventHeap,
+    /// Future-event list; backend chosen by `cfg.sched` / `FP_SCHED`.
+    heap: EventQueue,
     links: Vec<LinkState>,
     switches: Vec<SwitchState>,
     hosts: Vec<HostState>,
@@ -224,11 +225,12 @@ impl Simulator {
             topo.cores_per_group as usize,
             topo.n_leaves(),
         );
+        let sched = cfg.sched.unwrap_or_else(SchedKind::from_env);
         let mut sim = Simulator {
             cfg,
             topo,
             now: SimTime::ZERO,
-            heap: EventHeap::new(),
+            heap: EventQueue::new(sched),
             links,
             switches,
             hosts,
@@ -1300,6 +1302,17 @@ impl Simulator {
     /// Pending event count (0 = idle).
     pub fn pending_events(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Which scheduler backend this simulator runs on.
+    pub fn sched_kind(&self) -> SchedKind {
+        self.heap.kind()
+    }
+
+    /// Scheduler occupancy counters accumulated so far (telemetry only —
+    /// never part of trial results, which are backend-independent).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.heap.stats()
     }
 }
 

@@ -29,6 +29,12 @@ pub struct Manifest {
     pub events_total: u64,
     /// Engine events per wall-clock second, aggregated.
     pub events_per_sec: f64,
+    /// Event-scheduler backend the trials ran on (`"heap"` / `"wheel"`).
+    pub scheduler: String,
+    /// Scheduler occupancy counters aggregated over the run (per-level
+    /// slot insertions, overflow spills, cascades, pending high-water
+    /// mark), serialized by the caller.
+    pub sched: Value,
     /// The full trial spec list, serialized by the caller.
     pub specs: Value,
 }
@@ -73,6 +79,8 @@ mod tests {
             wall_us_total: 120,
             events_total: 9000,
             events_per_sec: 7.5e7,
+            scheduler: "wheel".into(),
+            sched: Value::Map(vec![("max_pending".to_string(), Value::U64(12))]),
             specs: Value::Seq(vec![Value::Map(vec![(
                 "seed".to_string(),
                 Value::U64(1000),
@@ -87,6 +95,8 @@ mod tests {
         let get = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, v)| v);
         assert_eq!(get("name").and_then(Value::as_str), Some("fig5a"));
         assert_eq!(get("trials").and_then(Value::as_u64), Some(2));
+        assert_eq!(get("scheduler").and_then(Value::as_str), Some("wheel"));
+        assert!(get("sched").and_then(Value::as_map).is_some());
         assert_eq!(
             get("specs").and_then(Value::as_seq).map(<[Value]>::len),
             Some(1)

@@ -17,11 +17,16 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo bench --workspace --no-run (benches must keep compiling)"
+cargo bench --workspace --no-run -q
+
 BINARIES=(fig5a fig5b fig5c preexisting ablate_spray ablate_jitter)
 t1="$(mktemp -d)"
 t4="$(mktemp -d)"
 tt="$(mktemp -d)"
 trap 'rm -rf "$t1" "$t4" "$tt"' EXIT
+# Smoke runs must never clobber the committed BENCH_netsim.json.
+export FP_BENCH_JSON=""
 
 echo "==> FP_QUICK smoke: ${BINARIES[*]} at FP_THREADS=1 and FP_THREADS=4"
 for bin in "${BINARIES[@]}"; do
@@ -31,6 +36,16 @@ for bin in "${BINARIES[@]}"; do
         cargo run --release -q -p fp-bench --bin "$bin" >/dev/null
     cmp "$t1/$bin.json" "$t4/$bin.json"
     echo "    $bin: JSON byte-identical across thread counts"
+done
+
+echo "==> FP_SCHED=heap smoke: scheduler backend must not change output bytes"
+th="$(mktemp -d)"
+trap 'rm -rf "$t1" "$t4" "$tt" "$th"' EXIT
+for bin in fig5a preexisting; do
+    FP_QUICK=1 FP_THREADS=4 FP_SCHED=heap FP_RESULTS="$th" \
+        cargo run --release -q -p fp-bench --bin "$bin" >/dev/null
+    cmp "$t4/$bin.json" "$th/$bin.json"
+    echo "    $bin: JSON byte-identical heap vs wheel"
 done
 
 echo "==> telemetry smoke: headline with FP_TELEMETRY, then schema validation"
