@@ -38,6 +38,10 @@ pub struct BenchEntry {
     pub events: u64,
     /// Aggregate engine events per wall-clock second.
     pub events_per_sec: f64,
+    /// Total scheduler pushes across trials. Pipeline deliveries bypass the
+    /// scheduler, so this tracks how much traffic the wheel/heap actually
+    /// absorbs — the number the link-pipeline work drives down.
+    pub sched_pushes: u64,
 }
 
 /// Where this process should write the bench file, honouring the rules in
@@ -118,6 +122,7 @@ mod tests {
             wall_us: 1_000_000,
             events: 5_000_000,
             events_per_sec: eps,
+            sched_pushes: 2_500_000,
         }
     }
 
@@ -163,6 +168,7 @@ mod tests {
             "wall_us",
             "events",
             "events_per_sec",
+            "sched_pushes",
         ] {
             assert!(map.iter().any(|(k, _)| k == key), "missing {key}");
         }

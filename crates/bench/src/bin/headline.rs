@@ -78,10 +78,42 @@ fn main() {
         wall_us,
         events: r.stats.events,
         events_per_sec: r.stats.events as f64 * 1e6 / wall_us as f64,
+        sched_pushes: r.sched.pushes,
     }) {
         Ok(Some(p)) => println!("[bench {}]", p.display()),
         Ok(None) => {}
         Err(e) => eprintln!("warning: cannot update bench json: {e}"),
+    }
+    // `baseline`: the identical trial pinned to the binary-heap scheduler,
+    // recorded under its own key so the committed bench file always carries
+    // a same-tree heap-vs-wheel comparison. Full runs only — quick numbers
+    // are meaningless as a trajectory.
+    if !fp_bench::quick() {
+        let mut base_spec = spec.clone();
+        base_spec.sim.sched = Some(SchedKind::Heap);
+        let t0 = std::time::Instant::now();
+        let base = run_trial(&base_spec);
+        let base_wall = (t0.elapsed().as_micros() as u64).max(1);
+        assert_eq!(
+            base.stats.events, r.stats.events,
+            "scheduler backends must process identical event totals"
+        );
+        match fp_bench::record_bench(&fp_bench::BenchEntry {
+            name: "baseline".into(),
+            git: fp_telemetry::git_describe(),
+            scheduler: base.sched_kind.name().into(),
+            threads: 1,
+            quick: false,
+            trials: 1,
+            wall_us: base_wall,
+            events: base.stats.events,
+            events_per_sec: base.stats.events as f64 * 1e6 / base_wall as f64,
+            sched_pushes: base.sched.pushes,
+        }) {
+            Ok(Some(p)) => println!("[bench baseline {}]", p.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: cannot update bench json: {e}"),
+        }
     }
     if let Some(dir) = &telemetry {
         fp_bench::campaign_manifest(

@@ -133,6 +133,7 @@ impl Campaign {
             wall_us: wall_us_total,
             events: events_total,
             events_per_sec: events_total as f64 * 1e6 / wall_us_total as f64,
+            sched_pushes: sched.pushes,
         }) {
             Ok(Some(p)) => println!("[bench {}]", p.display()),
             Ok(None) => {}

@@ -95,7 +95,14 @@ fn artifacts_validate() {
     let mut ticks = std::collections::BTreeSet::new();
     for line in samples.lines() {
         let v: Value = serde_json::from_str(line).expect("sample line parses");
-        for field in ["t_ns", "link", "queued_bytes", "queued_pkts", "paused_mask"] {
+        for field in [
+            "t_ns",
+            "link",
+            "queued_bytes",
+            "queued_pkts",
+            "inflight_pkts",
+            "paused_mask",
+        ] {
             assert!(get(&v, field).and_then(Value::as_u64).is_some(), "{line}");
         }
         let util = get(&v, "util").and_then(Value::as_f64).expect("util");

@@ -10,7 +10,7 @@
 //! `FP_SCHED` environment variable for A/B validation.
 
 use crate::ids::{HostId, LinkId};
-use crate::packet::{FlowId, Packet};
+use crate::packet::FlowId;
 use crate::time::SimTime;
 use crate::wheel::TimingWheel;
 use serde::{Deserialize, Serialize};
@@ -24,14 +24,6 @@ pub enum EventKind {
     TxDone {
         /// The transmitting directed link.
         link: LinkId,
-    },
-    /// A packet arrives at the far end of a link (serialization + latency
-    /// have elapsed and the packet survived any silent fault).
-    Delivery {
-        /// The link the packet traversed.
-        link: LinkId,
-        /// The packet itself.
-        pkt: Packet,
     },
     /// Retransmission timer for one segment.
     ///
@@ -88,13 +80,16 @@ pub enum EventKind {
     Sample,
 }
 
-// `Delivery` carries `Packet` *by value*: scheduler entries are moved into
-// slot buckets and copied again on every timing-wheel cascade, so growing
-// `EventKind` (via `Packet` or a new variant) silently taxes the hottest
-// path in the simulator. Today that is exactly an 8-byte header (tag +
-// `LinkId`) plus the 64-byte `Packet` (itself size-guarded in `packet.rs`);
-// if a variant ever needs more, box its payload instead of raising this.
-const _: () = assert!(std::mem::size_of::<EventKind>() <= 72);
+// Scheduler entries are moved into slot buckets and copied again on every
+// timing-wheel cascade, so growing `EventKind` silently taxes the hottest
+// path in the simulator. Deliveries — which used to carry the 64-byte
+// `Packet` by value — no longer exist as scheduler events at all: packets
+// ride per-link FIFO pipelines (`crate::pipeline`) and only tiny timer /
+// control events go through the wheel or heap. The largest variant today
+// is `Rto` (tag + four `u32`s, padded to the 8-byte alignment `Wake`'s
+// token forces); if a variant ever needs more, box its payload instead of
+// raising this.
+const _: () = assert!(std::mem::size_of::<EventKind>() <= 24);
 
 /// Which future-event scheduler backs a simulator.
 #[derive(Copy, Clone, PartialEq, Eq, Serialize, Deserialize, Debug, Default)]
@@ -138,6 +133,17 @@ impl SchedKind {
 /// byte-identical where determinism is asserted.
 #[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug, Default)]
 pub struct SchedStats {
+    /// Events actually pushed into the backend (excludes sequence numbers
+    /// that were merely *reserved* for pipeline entries — see
+    /// [`Scheduler::reserve_seq`]). This is the "scheduler traffic" number
+    /// the link-pipeline change shrinks.
+    pub pushes: u64,
+    /// Events popped back out of the backend. Counts every pop the engine
+    /// performs — including lazily-cancelled RTO timers that are then
+    /// discarded *without* being dispatched — so `pushes == pops + len`
+    /// holds at any quiescent point on both backends, while the engine's
+    /// `stats.events` (events *executed*) stays a separate number.
+    pub pops: u64,
     /// High-water mark of pending events.
     pub max_pending: u64,
     /// Slot insertions per wheel level (direct pushes *and* cascade
@@ -157,6 +163,8 @@ pub struct SchedStats {
 impl SchedStats {
     /// Accumulate another scheduler's counters (campaign aggregation).
     pub fn merge(&mut self, other: &SchedStats) {
+        self.pushes += other.pushes;
+        self.pops += other.pops;
         self.max_pending = self.max_pending.max(other.max_pending);
         for (a, b) in self.level_pushes.iter_mut().zip(other.level_pushes) {
             *a += b;
@@ -181,6 +189,14 @@ pub trait Scheduler {
     /// Schedule `kind` at absolute time `at`. Any `at` is legal, including
     /// one below previously popped timestamps (see the trait docs).
     fn push(&mut self, at: SimTime, kind: EventKind);
+    /// Consume the next global sequence number *without pushing anything*.
+    ///
+    /// Per-link pipeline entries (`crate::pipeline`) reserve their
+    /// tie-break sequence at insert time — exactly where the per-packet
+    /// `Delivery` push used to consume one — so every other event's
+    /// sequence number, and therefore every equal-timestamp ordering
+    /// decision, is identical to the per-packet-event engine.
+    fn reserve_seq(&mut self) -> u64;
     /// Pop the earliest event.
     fn pop(&mut self) -> Option<(SimTime, EventKind)>;
     /// Pop the earliest event if it is due at or before `horizon`.
@@ -188,13 +204,19 @@ pub trait Scheduler {
     /// Timestamp of the next event without removing it. Takes `&mut self`
     /// because the wheel advances its cursor lazily on peek.
     fn peek_time(&mut self) -> Option<SimTime>;
+    /// `(timestamp, sequence)` of the next event without removing it — the
+    /// pair the event loop compares against an armed link front to decide
+    /// which dispatches first at equal timestamps.
+    fn peek_next(&mut self) -> Option<(SimTime, u64)>;
     /// Number of pending events.
     fn len(&self) -> usize;
     /// True if nothing is scheduled.
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
-    /// Total events ever scheduled (monotonic).
+    /// Total events ever pushed (monotonic). Sequence numbers that were
+    /// only *reserved* for pipeline entries do not count — this is real
+    /// scheduler traffic, the number the link pipelines cut.
     fn scheduled(&self) -> u64;
     /// Which backend this is.
     fn kind(&self) -> SchedKind;
@@ -239,9 +261,14 @@ impl Ord for HeapEntry {
 #[derive(Default)]
 pub struct EventHeap {
     heap: BinaryHeap<HeapEntry>,
+    /// Next global sequence number; advanced by pushes *and* reservations.
     seq: u64,
-    /// Cached copy of `heap.peek().at`; `None` iff the heap is empty.
-    next_at: Option<SimTime>,
+    /// Cached copy of `heap.peek()`'s `(at, seq)`; `None` iff empty.
+    next: Option<(SimTime, u64)>,
+    /// Events actually pushed (`seq` minus reservations).
+    pushed: u64,
+    /// Events popped back out.
+    popped: u64,
     /// High-water mark of pending events.
     max_pending: u64,
 }
@@ -252,12 +279,21 @@ impl EventHeap {
         Self::default()
     }
 
-    /// Schedule `kind` at absolute time `at`.
-    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+    /// Consume the next sequence number without pushing (see
+    /// [`Scheduler::reserve_seq`]).
+    #[inline]
+    pub fn reserve_seq(&mut self) -> u64 {
         let seq = self.seq;
         self.seq += 1;
-        if self.next_at.is_none_or(|t| at < t) {
-            self.next_at = Some(at);
+        seq
+    }
+
+    /// Schedule `kind` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.reserve_seq();
+        self.pushed += 1;
+        if self.next.is_none_or(|(t, s)| (at, seq) < (t, s)) {
+            self.next = Some((at, seq));
         }
         self.heap.push(HeapEntry { at, seq, kind });
         self.max_pending = self.max_pending.max(self.heap.len() as u64);
@@ -266,12 +302,13 @@ impl EventHeap {
     /// Pop the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
         let popped = self.heap.pop()?;
+        self.popped += 1;
         // Refresh the cached head only while the heap is nonempty; when the
         // pop emptied it, `peek()` would dereference just to store `None`.
-        self.next_at = if self.heap.is_empty() {
+        self.next = if self.heap.is_empty() {
             None
         } else {
-            self.heap.peek().map(|e| e.at)
+            self.heap.peek().map(|e| (e.at, e.seq))
         };
         Some((popped.at, popped.kind))
     }
@@ -280,8 +317,8 @@ impl EventHeap {
     /// Single-access fast path for the main event loop: the cached head
     /// timestamp decides without touching the heap.
     pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, EventKind)> {
-        match self.next_at {
-            Some(t) if t <= horizon => self.pop(),
+        match self.next {
+            Some((t, _)) if t <= horizon => self.pop(),
             _ => None,
         }
     }
@@ -289,7 +326,13 @@ impl EventHeap {
     /// Timestamp of the next event without removing it.
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.next_at
+        self.next.map(|(t, _)| t)
+    }
+
+    /// `(timestamp, sequence)` of the next event without removing it.
+    #[inline]
+    pub fn peek_next(&self) -> Option<(SimTime, u64)> {
+        self.next
     }
 
     /// Number of pending events.
@@ -302,15 +345,18 @@ impl EventHeap {
         self.heap.is_empty()
     }
 
-    /// Total events ever scheduled (monotonic).
+    /// Total events ever pushed (monotonic; excludes reservations).
     pub fn scheduled(&self) -> u64 {
-        self.seq
+        self.pushed
     }
 }
 
 impl Scheduler for EventHeap {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         EventHeap::push(self, at, kind);
+    }
+    fn reserve_seq(&mut self) -> u64 {
+        EventHeap::reserve_seq(self)
     }
     fn pop(&mut self) -> Option<(SimTime, EventKind)> {
         EventHeap::pop(self)
@@ -320,6 +366,9 @@ impl Scheduler for EventHeap {
     }
     fn peek_time(&mut self) -> Option<SimTime> {
         EventHeap::peek_time(self)
+    }
+    fn peek_next(&mut self) -> Option<(SimTime, u64)> {
+        EventHeap::peek_next(self)
     }
     fn len(&self) -> usize {
         EventHeap::len(self)
@@ -335,6 +384,8 @@ impl Scheduler for EventHeap {
     }
     fn stats(&self) -> SchedStats {
         SchedStats {
+            pushes: self.pushed,
+            pops: self.popped,
             max_pending: self.max_pending,
             ..SchedStats::default()
         }
@@ -378,6 +429,10 @@ impl Scheduler for EventQueue {
         dispatch!(self, q => q.push(at, kind))
     }
     #[inline]
+    fn reserve_seq(&mut self) -> u64 {
+        dispatch!(self, q => q.reserve_seq())
+    }
+    #[inline]
     fn pop(&mut self) -> Option<(SimTime, EventKind)> {
         dispatch!(self, q => q.pop())
     }
@@ -388,6 +443,10 @@ impl Scheduler for EventQueue {
     #[inline]
     fn peek_time(&mut self) -> Option<SimTime> {
         dispatch!(self, q => q.peek_time())
+    }
+    #[inline]
+    fn peek_next(&mut self) -> Option<(SimTime, u64)> {
+        dispatch!(self, q => q.peek_next())
     }
     #[inline]
     fn len(&self) -> usize {
@@ -547,6 +606,8 @@ mod tests {
     #[test]
     fn sched_stats_merge_sums_and_maxes() {
         let a = SchedStats {
+            pushes: 100,
+            pops: 90,
             max_pending: 10,
             level_pushes: [1, 2, 3, 4],
             spill_pushes: 5,
@@ -555,6 +616,8 @@ mod tests {
             due_splices: 1,
         };
         let mut m = SchedStats {
+            pushes: 20,
+            pops: 20,
             max_pending: 3,
             level_pushes: [10, 0, 0, 0],
             spill_pushes: 1,
@@ -563,12 +626,52 @@ mod tests {
             due_splices: 0,
         };
         m.merge(&a);
+        assert_eq!(m.pushes, 120);
+        assert_eq!(m.pops, 110);
         assert_eq!(m.max_pending, 10);
         assert_eq!(m.level_pushes, [11, 2, 3, 4]);
         assert_eq!(m.spill_pushes, 6);
         assert_eq!(m.cascades, 7);
         assert_eq!(m.cascaded_entries, 8);
         assert_eq!(m.due_splices, 1);
+    }
+
+    #[test]
+    fn reserved_seqs_gap_the_tie_break_but_not_the_push_count() {
+        // A reservation consumes a sequence number (so a later push ties
+        // *after* the reserved slot) without counting as scheduler traffic.
+        for kind in [SchedKind::Heap, SchedKind::Wheel] {
+            let mut q = EventQueue::new(kind);
+            let (t, k) = wake(10, 0);
+            q.push(t, k);
+            let reserved = q.reserve_seq();
+            assert_eq!(reserved, 1, "kind={kind:?}");
+            let (t, k) = wake(10, 2);
+            q.push(t, k);
+            assert_eq!(q.scheduled(), 2, "reservation must not count as a push");
+            assert_eq!(Scheduler::stats(&q).pushes, 2);
+            assert_eq!(q.peek_next(), Some((SimTime::from_ns(10), 0)));
+            q.pop();
+            assert_eq!(q.peek_next().map(|(_, s)| s), Some(2));
+            q.pop();
+            assert_eq!(Scheduler::stats(&q).pops, 2);
+            assert_eq!(q.peek_next(), None);
+        }
+    }
+
+    #[test]
+    fn pushes_equal_pops_plus_len_at_any_point() {
+        for kind in [SchedKind::Heap, SchedKind::Wheel] {
+            let mut q = EventQueue::new(kind);
+            for i in 0..6u64 {
+                let (t, k) = wake(10 * i, i);
+                q.push(t, k);
+            }
+            q.pop();
+            q.pop();
+            let s = Scheduler::stats(&q);
+            assert_eq!(s.pushes, s.pops + q.len() as u64, "kind={kind:?}");
+        }
     }
 
     #[test]

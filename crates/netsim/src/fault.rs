@@ -50,7 +50,11 @@ impl FaultKind {
 
     /// Decide whether this fault drops `pkt` (whose destination host sits
     /// under `pkt_dst_leaf`). Only meaningful for silent faults; `AdminDown`
-    /// is enforced by routing, not per-packet sampling.
+    /// is enforced by routing, not per-packet sampling. The simulator
+    /// samples this at the end of serialization, as the packet would enter
+    /// its link's delivery pipe — a dropped packet never goes in flight, and
+    /// a fault cleared mid-flight cannot retroactively save packets already
+    /// dropped at insert.
     pub fn drops(&self, pkt: &Packet, pkt_dst_leaf: u16, rng: &mut SmallRng) -> bool {
         match *self {
             FaultKind::AdminDown => true,

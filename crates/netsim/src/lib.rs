@@ -52,6 +52,7 @@ pub mod engine;
 pub mod fault;
 pub mod ids;
 pub mod packet;
+pub mod pipeline;
 pub mod rng;
 pub mod sim;
 pub mod spray;

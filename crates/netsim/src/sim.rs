@@ -25,6 +25,7 @@ use crate::engine::{EventKind, EventQueue, SchedKind, SchedStats, Scheduler};
 use crate::fault::{FaultAction, FaultEvent, FaultKind};
 use crate::ids::{HostId, LinkId, NodeId, SwitchId};
 use crate::packet::{AckBlock, CollectiveTag, FlowId, Packet, PacketKind, Priority, NPRIO};
+use crate::pipeline::{FrontHeap, InFlight, PipeFront};
 use crate::rng::RngStreams;
 use crate::spray;
 use crate::stats::{DropCause, Stats};
@@ -46,6 +47,10 @@ pub struct LinkState {
     /// Currently serializing a packet.
     pub txing: bool,
     current: Option<Packet>,
+    /// Packets on the wire: fully serialized, propagating toward the far
+    /// end. The packets themselves live in the simulator's per-latency-class
+    /// delivery pipes (see `crate::pipeline`); this is the link's share.
+    inflight: u32,
     queues: [VecDeque<Packet>; NPRIO],
     /// Queued **plus in-flight** wire bytes across priorities — the APS load
     /// signal. Including the packet currently serializing is what lets
@@ -74,6 +79,7 @@ impl LinkState {
             fault: None,
             txing: false,
             current: None,
+            inflight: 0,
             queues: Default::default(),
             queued_bytes: 0,
             paused: [false; NPRIO],
@@ -88,6 +94,12 @@ impl LinkState {
     /// Packets waiting in all priority queues.
     pub fn queued_pkts(&self) -> usize {
         self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Packets on the wire (serialized, not yet delivered) — the per-link
+    /// pipeline depth sampled by telemetry.
+    pub fn inflight_pkts(&self) -> usize {
+        self.inflight as usize
     }
 }
 
@@ -161,6 +173,18 @@ pub struct Simulator {
     now: SimTime,
     /// Future-event list; backend chosen by `cfg.sched` / `FP_SCHED`.
     heap: EventQueue,
+    /// Armed head-of-pipe arrivals, one per nonempty delivery pipe. The
+    /// event loop dispatches min(front, scheduler) by `(time, seq)` — see
+    /// `crate::pipeline`.
+    front: FrontHeap,
+    /// Delivery pipes, one per latency class: contiguous FIFOs of packets
+    /// on the wire, sorted by `(at, seq)` by construction (monotone clock +
+    /// constant per-class latency).
+    pipes: Vec<VecDeque<InFlight>>,
+    /// Latency class of each link (index into `pipes`).
+    link_pipe: Vec<u32>,
+    /// Total packets on the wire across all delivery pipes.
+    in_flight_pkts: usize,
     links: Vec<LinkState>,
     switches: Vec<SwitchState>,
     hosts: Vec<HostState>,
@@ -226,11 +250,31 @@ impl Simulator {
             topo.n_leaves(),
         );
         let sched = cfg.sched.unwrap_or_else(SchedKind::from_env);
+        // One delivery pipe per distinct link latency (two in a fat tree:
+        // host↔leaf and leaf↔spine). Class order follows first appearance
+        // in the link table, which is deterministic.
+        let mut latencies: Vec<SimDuration> = Vec::new();
+        let link_pipe = topo
+            .links
+            .iter()
+            .map(|l| match latencies.iter().position(|&d| d == l.latency) {
+                Some(i) => i as u32,
+                None => {
+                    latencies.push(l.latency);
+                    (latencies.len() - 1) as u32
+                }
+            })
+            .collect();
+        let pipes = vec![VecDeque::new(); latencies.len()];
         let mut sim = Simulator {
             cfg,
             topo,
             now: SimTime::ZERO,
             heap: EventQueue::new(sched),
+            front: FrontHeap::new(),
+            pipes,
+            link_pipe,
+            in_flight_pkts: 0,
             links,
             switches,
             hosts,
@@ -347,6 +391,7 @@ impl Simulator {
                 &LinkSample {
                     queued_bytes: l.queued_bytes,
                     queued_pkts: l.queued_pkts() as u32,
+                    inflight_pkts: l.inflight,
                     txed_bytes: l.txed_bytes,
                     paused_mask: mask,
                 },
@@ -549,20 +594,44 @@ impl Simulator {
         s
     }
 
+    /// Which of (scheduler head, link-front head) dispatches next, by
+    /// global `(time, seq)` order. `None` when both are idle.
+    #[inline]
+    fn next_due(&mut self) -> Option<(SimTime, bool)> {
+        let front = self.front.peek();
+        match (self.heap.peek_next(), front) {
+            (None, None) => None,
+            (Some((t, _)), None) => Some((t, false)),
+            (None, Some(f)) => Some((f.at, true)),
+            (Some((t, s)), Some(f)) => {
+                if (f.at, f.seq) < (t, s) {
+                    Some((f.at, true))
+                } else {
+                    Some((t, false))
+                }
+            }
+        }
+    }
+
     fn run_inner(&mut self, horizon: SimTime) -> RunSummary {
         self.start_app_if_needed();
         let start_events = self.stats.events;
         let reason = loop {
-            match self.heap.peek_time() {
+            let (at, from_front) = match self.next_due() {
                 None => break RunReason::Drained,
-                Some(t) if t > horizon => break RunReason::TimeLimit,
-                Some(_) => {}
-            }
+                Some((t, _)) if t > horizon => break RunReason::TimeLimit,
+                Some(due) => due,
+            };
             if self.stats.events >= self.cfg.max_events {
                 break RunReason::EventLimit;
             }
-            let (at, kind) = self.heap.pop_at_or_before(horizon).expect("peeked");
-            self.dispatch(at, kind);
+            if from_front {
+                self.deliver_front();
+            } else {
+                let (k_at, kind) = self.heap.pop().expect("peeked");
+                debug_assert_eq!(k_at, at);
+                self.dispatch(k_at, kind);
+            }
         };
         RunSummary {
             events: self.stats.events - start_events,
@@ -574,13 +643,47 @@ impl Simulator {
     /// Process a single event (test/debug hook). Returns false if idle.
     pub fn step(&mut self) -> bool {
         self.start_app_if_needed();
-        match self.heap.pop() {
-            Some((at, kind)) => {
+        match self.next_due() {
+            Some((_, true)) => {
+                self.deliver_front();
+                true
+            }
+            Some((_, false)) => {
+                let (at, kind) = self.heap.pop().expect("peeked");
                 self.dispatch(at, kind);
                 true
             }
             None => false,
         }
+    }
+
+    /// Dispatch the earliest head-of-pipe arrival: pop the head packet off
+    /// its delivery pipe, re-arm the front for the next entry (or disarm if
+    /// the pipe went empty), and deliver. Counts toward `stats.events`
+    /// exactly like the per-packet `Delivery` event it replaces, so event
+    /// accounting and `max_events` behave identically.
+    fn deliver_front(&mut self) {
+        let f = self.front.peek().expect("front nonempty");
+        let pipe = &mut self.pipes[f.pipe as usize];
+        let head = pipe.pop_front().expect("armed pipe has packets in it");
+        debug_assert_eq!((head.at, head.seq), (f.at, f.seq), "front out of sync");
+        match pipe.front() {
+            Some(next) => self.front.replace_top(PipeFront {
+                at: next.at,
+                seq: next.seq,
+                pipe: f.pipe,
+            }),
+            None => {
+                self.front.pop_top();
+            }
+        }
+        self.links[head.link.idx()].inflight -= 1;
+        self.in_flight_pkts -= 1;
+        debug_assert!(f.at >= self.now, "time went backwards");
+        self.now = f.at;
+        self.stats.events += 1;
+        self.stats.pipeline_deliveries += 1;
+        self.handle_delivery(head.link, head.pkt);
     }
 
     fn dispatch(&mut self, at: SimTime, kind: EventKind) {
@@ -604,7 +707,7 @@ impl Simulator {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.sample_links();
-            if !self.heap.is_empty() {
+            if !self.heap.is_empty() || !self.front.is_empty() {
                 if let Some(interval) = self
                     .recorder
                     .as_ref()
@@ -622,7 +725,6 @@ impl Simulator {
         self.stats.events += 1;
         match kind {
             EventKind::TxDone { link } => self.handle_tx_done(link),
-            EventKind::Delivery { link, pkt } => self.handle_delivery(link, pkt),
             EventKind::Rto {
                 flow, seq, attempt, ..
             } => self.handle_rto(flow, seq, attempt),
@@ -858,9 +960,31 @@ impl Simulator {
                 },
             );
         } else {
+            // Pipe insert — the surviving packet goes on the wire. A
+            // sequence number is reserved here, exactly where the old
+            // per-packet `Delivery` push consumed one, so every other
+            // event's tie-break is unchanged. Only an *empty* pipe arms
+            // the front; otherwise the FIFO absorbs the packet and the
+            // scheduler sees no traffic at all.
             let latency = self.topo.links[link.idx()].latency;
-            self.heap
-                .push(self.now + latency, EventKind::Delivery { link, pkt });
+            let at = self.now + latency;
+            let seq = self.heap.reserve_seq();
+            let class = self.link_pipe[link.idx()];
+            let pipe = &mut self.pipes[class as usize];
+            debug_assert!(
+                pipe.back().is_none_or(|b| (b.at, b.seq) < (at, seq)),
+                "pipe arrivals must be FIFO"
+            );
+            if pipe.is_empty() {
+                self.front.arm(PipeFront {
+                    at,
+                    seq,
+                    pipe: class,
+                });
+            }
+            pipe.push_back(InFlight { at, seq, link, pkt });
+            self.links[link.idx()].inflight += 1;
+            self.in_flight_pkts += 1;
         }
         self.try_start_tx(link);
     }
@@ -1299,9 +1423,10 @@ impl Simulator {
         self.flows.iter().all(|f| f.is_complete())
     }
 
-    /// Pending event count (0 = idle).
+    /// Pending work count: scheduled events plus packets on the wire
+    /// (0 = idle).
     pub fn pending_events(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.in_flight_pkts
     }
 
     /// Which scheduler backend this simulator runs on.
@@ -1354,6 +1479,29 @@ mod tests {
         assert_eq!(s.stats.flows_completed, 1);
         assert_eq!(s.stats.flows_failed, 0);
         assert_eq!(s.stats.total_drops(), 0);
+    }
+
+    #[test]
+    fn pipeline_deliveries_dominate_and_account_exactly() {
+        // Recorder-free drained run: every scheduler pop is either an
+        // engine event that was not a pipeline delivery, or a stale RTO
+        // discarded by lazy cancellation. Deliveries themselves never
+        // round-trip the scheduler — that is the point of the pipelines.
+        let mut s = sim(17);
+        s.post_message(HostId(0), HostId(2), 500_000, None, Priority::MEASURED);
+        let r = s.run();
+        assert_eq!(r.reason, RunReason::Drained);
+        assert_eq!(s.pending_events(), 0);
+        let ss = s.sched_stats();
+        assert_eq!(ss.pushes, ss.pops, "drained run: pushes == pops");
+        assert_eq!(
+            ss.pops,
+            s.stats.events - s.stats.pipeline_deliveries + s.stats.rto_stale_skips
+        );
+        // Roughly one delivery per tx'd packet; in any case a large share
+        // of all engine events bypassed the scheduler.
+        assert_eq!(s.stats.pipeline_deliveries, s.stats.pkts_txed);
+        assert!(s.stats.pipeline_deliveries * 3 > s.stats.events);
     }
 
     #[test]

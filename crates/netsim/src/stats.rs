@@ -33,6 +33,11 @@ impl DropCause {
 pub struct Stats {
     /// Events processed by the engine.
     pub events: u64,
+    /// Of `events`, how many were head-of-pipeline deliveries dispatched
+    /// straight from a link's in-flight FIFO (never pushed through the
+    /// scheduler). `events - pipeline_deliveries + rto_stale_skips` is the
+    /// number of scheduler pops a drained, recorder-free run performed.
+    pub pipeline_deliveries: u64,
     /// Packets that completed serialization on some link.
     pub pkts_txed: u64,
     /// Data packets injected by hosts (first transmissions only).

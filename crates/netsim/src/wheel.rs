@@ -117,7 +117,8 @@ pub struct TimingWheel {
     due_pos: usize,
     /// Pending events across wheel + overflow + unread due entries.
     len: usize,
-    /// Next global sequence number == total events ever scheduled.
+    /// Next global sequence number; advanced by pushes *and* reservations,
+    /// so tie-breaks line up with pipeline entries that only reserved.
     seq: u64,
     stats: SchedStats,
 }
@@ -146,10 +147,19 @@ impl TimingWheel {
         }
     }
 
-    /// Schedule `kind` at absolute time `at`.
-    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+    /// Consume the next sequence number without pushing (see
+    /// [`Scheduler::reserve_seq`]).
+    #[inline]
+    pub fn reserve_seq(&mut self) -> u64 {
         let seq = self.seq;
         self.seq += 1;
+        seq
+    }
+
+    /// Schedule `kind` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.reserve_seq();
+        self.stats.pushes += 1;
         if at < self.cursor {
             // The cursor overshot `at` (peek-ahead, or a popped-but-stale
             // RTO timer); everything in the wheel/overflow is at or after
@@ -177,6 +187,7 @@ impl TimingWheel {
         let e = self.due.get(self.due_pos)?;
         self.due_pos += 1;
         self.len -= 1;
+        self.stats.pops += 1;
         Some((e.at, e.kind))
     }
 
@@ -189,6 +200,7 @@ impl TimingWheel {
         }
         self.due_pos += 1;
         self.len -= 1;
+        self.stats.pops += 1;
         Some((e.at, e.kind))
     }
 
@@ -197,6 +209,12 @@ impl TimingWheel {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.ensure_due();
         self.due.get(self.due_pos).map(|e| e.at)
+    }
+
+    /// `(timestamp, sequence)` of the next event without removing it.
+    pub fn peek_next(&mut self) -> Option<(SimTime, u64)> {
+        self.ensure_due();
+        self.due.get(self.due_pos).map(|e| (e.at, e.seq))
     }
 
     /// Number of pending events.
@@ -209,9 +227,9 @@ impl TimingWheel {
         self.len == 0
     }
 
-    /// Total events ever scheduled (monotonic).
+    /// Total events ever pushed (monotonic; excludes reservations).
     pub fn scheduled(&self) -> u64 {
-        self.seq
+        self.stats.pushes
     }
 
     /// Lifetime occupancy counters.
@@ -334,6 +352,9 @@ impl Scheduler for TimingWheel {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         TimingWheel::push(self, at, kind);
     }
+    fn reserve_seq(&mut self) -> u64 {
+        TimingWheel::reserve_seq(self)
+    }
     fn pop(&mut self) -> Option<(SimTime, EventKind)> {
         TimingWheel::pop(self)
     }
@@ -342,6 +363,9 @@ impl Scheduler for TimingWheel {
     }
     fn peek_time(&mut self) -> Option<SimTime> {
         TimingWheel::peek_time(self)
+    }
+    fn peek_next(&mut self) -> Option<(SimTime, u64)> {
+        TimingWheel::peek_next(self)
     }
     fn len(&self) -> usize {
         TimingWheel::len(self)

@@ -60,7 +60,17 @@ fn lockstep(
     raw: u64,
 ) -> Result<(), String> {
     // Bits 0..2 select the op; pops outnumber pushes slightly so scripts
-    // drain as well as fill.
+    // drain as well as fill. One op flavor in sixteen reserves a sequence
+    // number without pushing (the pipeline-insert shape): the tie-break
+    // counter advances, the push count must not.
+    if raw % 16 == 7 {
+        let a = heap.reserve_seq();
+        let b = wheel.reserve_seq();
+        if a != b {
+            return Err(format!("reserved seqs diverged: heap={a} wheel={b}"));
+        }
+        return Ok(());
+    }
     if raw % 4 < 2 {
         // One push flavor in eight is *backdated*: scheduled below `now`,
         // and hence below timestamps both backends have already popped.
@@ -138,6 +148,18 @@ proptest! {
         prop_assert_eq!(heap.len(), 0);
         prop_assert_eq!(wheel.len(), 0);
         prop_assert_eq!(Scheduler::scheduled(&heap), wheel.scheduled());
+
+        // Scheduled-vs-executed accounting is consistent on both backends:
+        // every event ever filed was popped (the queues are drained), the
+        // two backends agree on both totals, and `scheduled()` reports
+        // exactly the push count — reservations never leak into it.
+        let (hs, ws) = (Scheduler::stats(&heap), wheel.stats());
+        prop_assert_eq!(hs.pushes, hs.pops, "heap drained: pushes == pops");
+        prop_assert_eq!(ws.pushes, ws.pops, "wheel drained: pushes == pops");
+        prop_assert_eq!(hs.pushes, ws.pushes);
+        prop_assert_eq!(hs.pops, ws.pops);
+        prop_assert_eq!(Scheduler::scheduled(&heap), hs.pushes);
+        prop_assert_eq!(wheel.scheduled(), ws.pushes);
     }
 
     fn equal_timestamp_bursts_stay_fifo(burst in 2usize..64, at in 0u64..HORIZON_NS * 2) {

@@ -143,6 +143,7 @@ mod tests {
             link: 0,
             queued_bytes: 64,
             queued_pkts: 1,
+            inflight_pkts: 1,
             util: 0.5,
             paused_mask: 0,
         }];

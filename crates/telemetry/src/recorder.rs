@@ -27,6 +27,9 @@ pub struct LinkSample {
     pub queued_bytes: u64,
     /// Packets waiting in the egress priority queues.
     pub queued_pkts: u32,
+    /// Packets on the wire: serialized, still propagating toward the far
+    /// end (the link's delivery-pipeline depth).
+    pub inflight_pkts: u32,
     /// Cumulative wire bytes fully serialized since the run started
     /// (recorders diff successive samples to get utilization).
     pub txed_bytes: u64,
@@ -99,6 +102,7 @@ mod tests {
             &LinkSample {
                 queued_bytes: 0,
                 queued_pkts: 0,
+                inflight_pkts: 0,
                 txed_bytes: 0,
                 paused_mask: 0,
             },

@@ -20,6 +20,8 @@ pub struct SampleRow {
     pub queued_bytes: u64,
     /// Packets waiting in the egress priority queues.
     pub queued_pkts: u32,
+    /// Packets on the wire (the link's delivery-pipeline depth).
+    pub inflight_pkts: u32,
     /// Fraction of line rate used since the previous sample (0.0..=1.0).
     pub util: f64,
     /// PFC pause bitmask, bit `p` = priority `p` paused.
@@ -179,6 +181,7 @@ impl Recorder for RunRecorder {
             link,
             queued_bytes: sample.queued_bytes,
             queued_pkts: sample.queued_pkts,
+            inflight_pkts: sample.inflight_pkts,
             util,
             paused_mask: sample.paused_mask,
         });
@@ -264,6 +267,7 @@ mod tests {
         let s = |txed| LinkSample {
             queued_bytes: 0,
             queued_pkts: 0,
+            inflight_pkts: 0,
             txed_bytes: txed,
             paused_mask: 0,
         };
@@ -282,6 +286,7 @@ mod tests {
         let s = LinkSample {
             queued_bytes: 0,
             queued_pkts: 0,
+            inflight_pkts: 0,
             txed_bytes: 0,
             paused_mask: 0,
         };
@@ -304,6 +309,7 @@ mod tests {
             &LinkSample {
                 queued_bytes: 64,
                 queued_pkts: 1,
+                inflight_pkts: 2,
                 txed_bytes: 10,
                 paused_mask: 0b010,
             },

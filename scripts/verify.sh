@@ -48,7 +48,42 @@ for bin in fig5a preexisting; do
     echo "    $bin: JSON byte-identical heap vs wheel"
 done
 
-echo "==> telemetry smoke: headline with FP_TELEMETRY, then schema validation"
+echo "==> bench json schema: BENCH_netsim.json parses with required keys"
+python3 - <<'EOF'
+import json, sys
+d = json.load(open("BENCH_netsim.json"))
+required = ["name", "git", "scheduler", "threads", "quick", "trials",
+            "wall_us", "events", "events_per_sec", "sched_pushes"]
+for name in ("headline", "baseline"):
+    e = d.get(name)
+    if e is None:
+        sys.exit(f"BENCH_netsim.json: missing entry '{name}'")
+    missing = [k for k in required if k not in e]
+    if missing:
+        sys.exit(f"BENCH_netsim.json[{name}]: missing keys {missing}")
+print("    headline + baseline entries carry all required keys")
+EOF
+
+echo "==> perf smoke (warn-only): quick headline vs committed BENCH_netsim.json"
+# A quick run is a different workload than the committed full campaign, so
+# the absolute events/sec are not comparable run-to-run on shared hardware;
+# print the delta as a canary but never fail the gate on it.
+pb="$(mktemp -d)"
+trap 'rm -rf "$t1" "$t4" "$tt" "$th" "$pb"' EXIT
+FP_QUICK=1 FP_BENCH_JSON="$pb/bench.json" FP_RESULTS="$pb" \
+    cargo run --release -q -p fp-bench --bin headline >/dev/null
+python3 - "$pb/bench.json" <<'EOF'
+import json, sys
+probe = json.load(open(sys.argv[1]))["headline"]
+committed = json.load(open("BENCH_netsim.json"))["headline"]
+delta = probe["events_per_sec"] / committed["events_per_sec"] - 1.0
+print(f"    quick headline: {probe['events_per_sec']/1e6:.2f} Mev/s "
+      f"({probe['scheduler']}), committed full campaign "
+      f"{committed['events_per_sec']/1e6:.2f} Mev/s ({delta:+.1%})")
+if delta < -0.30:
+    print("    WARNING: quick headline >30% below the committed rate — "
+          "worth a full re-measure before merging perf-sensitive changes")
+EOF
 FP_QUICK=1 FP_RESULTS="$t4" \
     cargo run --release -q -p fp-bench --bin headline >/dev/null
 FP_QUICK=1 FP_TELEMETRY="$tt" FP_RESULTS="$t1" \
