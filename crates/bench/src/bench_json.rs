@@ -42,6 +42,15 @@ pub struct BenchEntry {
     /// scheduler, so this tracks how much traffic the wheel/heap actually
     /// absorbs — the number the link-pipeline work drives down.
     pub sched_pushes: u64,
+    /// Mean time-to-detect across controller-enabled faulty trials,
+    /// nanoseconds of simulated time. `None` for controller-less campaigns.
+    pub tt_detect_ns: Option<u64>,
+    /// Mean time-to-mitigate across controller-enabled faulty trials,
+    /// nanoseconds of simulated time. `None` for controller-less campaigns.
+    pub tt_mitigate_ns: Option<u64>,
+    /// Healthy cables wrongly admin-downed across the campaign. `None` for
+    /// controller-less campaigns.
+    pub false_mitigations: Option<u64>,
 }
 
 /// Where this process should write the bench file, honouring the rules in
@@ -123,6 +132,9 @@ mod tests {
             events: 5_000_000,
             events_per_sec: eps,
             sched_pushes: 2_500_000,
+            tt_detect_ns: Some(1_000),
+            tt_mitigate_ns: Some(51_000),
+            false_mitigations: Some(0),
         }
     }
 
@@ -169,6 +181,9 @@ mod tests {
             "events",
             "events_per_sec",
             "sched_pushes",
+            "tt_detect_ns",
+            "tt_mitigate_ns",
+            "false_mitigations",
         ] {
             assert!(map.iter().any(|(k, _)| k == key), "missing {key}");
         }

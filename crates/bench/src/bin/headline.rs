@@ -79,6 +79,9 @@ fn main() {
         events: r.stats.events,
         events_per_sec: r.stats.events as f64 * 1e6 / wall_us as f64,
         sched_pushes: r.sched.pushes,
+        tt_detect_ns: None,
+        tt_mitigate_ns: None,
+        false_mitigations: None,
     }) {
         Ok(Some(p)) => println!("[bench {}]", p.display()),
         Ok(None) => {}
@@ -109,6 +112,9 @@ fn main() {
             events: base.stats.events,
             events_per_sec: base.stats.events as f64 * 1e6 / base_wall as f64,
             sched_pushes: base.sched.pushes,
+            tt_detect_ns: None,
+            tt_mitigate_ns: None,
+            false_mitigations: None,
         }) {
             Ok(Some(p)) => println!("[bench baseline {}]", p.display()),
             Ok(None) => {}

@@ -1,0 +1,326 @@
+//! E9 — closed-loop mitigation sweep: fault kind × onset iteration ×
+//! controller reaction latency, each against a controller-less baseline.
+//!
+//! For every faulty scenario the `fp-ctrl` controller detects the fault
+//! online, localizes the cable, admin-downs it after its reaction latency
+//! and rebaselines; the sweep measures time-to-detect, time-to-mitigate and
+//! the goodput trajectory (pre-fault / during-fault / post-mitigation).
+//! Controller-less baselines show the fault burning to the end of the run,
+//! and fault-free controller runs pin the false-mitigation count at zero.
+
+use flowpulse::prelude::*;
+use fp_bench::{header, pick, save_json, Campaign, TrialTiming};
+use fp_ctrl::{run_ctrl_trial, CtrlConfig};
+use fp_netsim::time::SimDuration;
+use serde::Serialize;
+
+/// One sweep cell: a spec plus the controller riding it (if any).
+#[derive(Clone)]
+struct Case {
+    label: String,
+    spec: TrialSpec,
+    ctrl: Option<CtrlConfig>,
+    /// Fault onset iteration (0 = fault-free run).
+    onset: u32,
+}
+
+#[derive(Serialize)]
+struct Row {
+    label: String,
+    controller: bool,
+    reaction_us: u64,
+    detected: bool,
+    tt_detect_ns: Option<u64>,
+    tt_mitigate_ns: Option<u64>,
+    mitigate_iter: Option<u32>,
+    false_mitigations: u32,
+    pre_bps: f64,
+    during_bps: f64,
+    post_bps: f64,
+    recovered: bool,
+}
+
+fn goodput(r: &TrialResult, iter: u32) -> f64 {
+    r.iter_goodput
+        .iter()
+        .find(|&&(i, _)| i == iter)
+        .map(|&(_, g)| g)
+        .unwrap_or(0.0)
+}
+
+fn row_of(case: &Case, r: &TrialResult) -> Row {
+    let iters = r.iter_goodput.len() as u32;
+    let onset = case.onset;
+    // Pre-fault mean; for fault-free runs the whole trajectory counts.
+    let pre_to = if onset == 0 { iters } else { onset };
+    let pre: Vec<f64> = (0..pre_to).map(|i| goodput(r, i)).collect();
+    let pre_bps = pre.iter().sum::<f64>() / pre.len().max(1) as f64;
+    // During: worst iteration while the fault burned unmitigated.
+    let during_to = r
+        .ctrl
+        .as_ref()
+        .and_then(|c| c.mitigate_iter)
+        .unwrap_or(iters)
+        .min(iters);
+    let during_bps = (onset..during_to.max(onset + 1).min(iters))
+        .map(|i| goodput(r, i))
+        .fold(f64::INFINITY, f64::min);
+    let during_bps = if during_bps.is_finite() {
+        during_bps
+    } else {
+        pre_bps
+    };
+    let post_bps = goodput(r, iters - 1);
+    let c = r.ctrl.as_ref();
+    Row {
+        label: case.label.clone(),
+        controller: case.ctrl.is_some(),
+        reaction_us: case
+            .ctrl
+            .map(|c| c.reaction_latency.as_ns() / 1_000)
+            .unwrap_or(0),
+        detected: r.detected,
+        tt_detect_ns: c.and_then(|c| c.time_to_detect_ns),
+        tt_mitigate_ns: c.and_then(|c| c.time_to_mitigate_ns),
+        mitigate_iter: c.and_then(|c| c.mitigate_iter),
+        false_mitigations: c.map(|c| c.false_mitigations).unwrap_or(0),
+        pre_bps,
+        during_bps,
+        post_bps,
+        recovered: onset > 0 && post_bps >= 0.95 * pre_bps,
+    }
+}
+
+fn main() {
+    header("E9 — closed-loop mitigation: fault × onset × reaction latency");
+    let base = TrialSpec {
+        leaves: pick(16, 8),
+        spines: pick(8, 4),
+        bytes_per_node: 8 * 1024 * 1024,
+        iterations: 8,
+        seed: 42,
+        ..Default::default()
+    };
+    let kinds: &[(&str, InjectedFault)] = &[
+        ("blackhole", InjectedFault::Blackhole),
+        ("dst_blackhole", InjectedFault::DstBlackhole),
+        ("drop5", InjectedFault::Drop { rate: 0.05 }),
+    ];
+    let kinds = &kinds[..pick(kinds.len(), 2)];
+    let onsets: &[u32] = pick(&[2u32, 3][..], &[2u32][..]);
+    let reactions: &[u64] = pick(&[0u64, 50, 200][..], &[50u64][..]);
+
+    let mut cases = Vec::new();
+    for (kname, kind) in kinds {
+        for &onset in onsets {
+            let spec = TrialSpec {
+                fault: Some(FaultSpec {
+                    kind: *kind,
+                    at_iter: onset,
+                    heal_at_iter: None,
+                    bidirectional: false,
+                }),
+                seed: base.seed + onset as u64,
+                ..base.clone()
+            };
+            for &us in reactions {
+                cases.push(Case {
+                    label: format!("{kname}@{onset} ctrl+{us}us"),
+                    spec: spec.clone(),
+                    ctrl: Some(CtrlConfig {
+                        reaction_latency: SimDuration::from_us(us),
+                        ..CtrlConfig::default()
+                    }),
+                    onset,
+                });
+            }
+            cases.push(Case {
+                label: format!("{kname}@{onset} baseline"),
+                spec,
+                ctrl: None,
+                onset,
+            });
+        }
+    }
+    // Fault-free controller runs: the loop must never fire.
+    for seed in [7u64, 8] {
+        cases.push(Case {
+            label: format!("clean/{seed} ctrl"),
+            spec: TrialSpec {
+                fault: None,
+                seed,
+                ..base.clone()
+            },
+            ctrl: Some(CtrlConfig::default()),
+            onset: 0,
+        });
+    }
+
+    // Controllers are !Send, so each worker builds its trial's controller
+    // inside the closure; determinism is per-spec, not per-thread.
+    let campaign = Campaign::from_env();
+    let t0 = std::time::Instant::now();
+    let timed: Vec<(TrialResult, u64)> = campaign.map(&cases, |case| {
+        let t = std::time::Instant::now();
+        let r = match case.ctrl {
+            Some(cfg) => run_ctrl_trial(&case.spec, cfg),
+            None => run_trial(&case.spec),
+        };
+        (r, t.elapsed().as_micros() as u64)
+    });
+    let wall_us_total = (t0.elapsed().as_micros() as u64).max(1);
+
+    let mut timings = Vec::new();
+    let mut rows = Vec::new();
+    for (idx, (case, (r, wall_us))) in cases.iter().zip(&timed).enumerate() {
+        timings.push(TrialTiming {
+            idx,
+            seed: case.spec.seed,
+            wall_us: *wall_us,
+            events: r.stats.events,
+        });
+        rows.push(row_of(case, r));
+    }
+
+    println!(
+        "{:<28} {:>9} {:>12} {:>9} {:>9} {:>9}  recovered",
+        "case", "tt_det_us", "tt_mit_us", "pre", "during", "post"
+    );
+    for row in &rows {
+        println!(
+            "{:<28} {:>9} {:>12} {:>9.2e} {:>9.2e} {:>9.2e}  {}",
+            row.label,
+            row.tt_detect_ns
+                .map(|n| (n / 1_000).to_string())
+                .unwrap_or_else(|| "-".into()),
+            row.tt_mitigate_ns
+                .map(|n| (n / 1_000).to_string())
+                .unwrap_or_else(|| "-".into()),
+            row.pre_bps,
+            row.during_bps,
+            row.post_bps,
+            if row.controller {
+                if row.recovered {
+                    "yes"
+                } else {
+                    "no"
+                }
+            } else {
+                "n/a"
+            },
+        );
+    }
+
+    // Campaign accounting: log, bench entry with closed-loop aggregates,
+    // manifest with the controller sweep parameters attached.
+    let log_path = fp_bench::out_dir().join("campaign_log.txt");
+    if let Err(e) = fp_bench::log_trials_to(
+        &log_path,
+        "mitigation",
+        campaign.threads(),
+        &timings,
+        wall_us_total,
+    ) {
+        eprintln!("warning: cannot append campaign log: {e}");
+    }
+    let ctrl_rows: Vec<&Row> = rows.iter().filter(|r| r.controller).collect();
+    let mean = |xs: Vec<u64>| {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(xs.iter().sum::<u64>() / xs.len() as u64)
+        }
+    };
+    let tt_detect_ns = mean(ctrl_rows.iter().filter_map(|r| r.tt_detect_ns).collect());
+    let tt_mitigate_ns = mean(ctrl_rows.iter().filter_map(|r| r.tt_mitigate_ns).collect());
+    let false_mitigations: u64 = ctrl_rows.iter().map(|r| r.false_mitigations as u64).sum();
+    let events_total: u64 = timings.iter().map(|t| t.events).sum();
+    let results: Vec<TrialResult> = timed.into_iter().map(|(r, _)| r).collect();
+    let (sched_kind, sched) = fp_bench::campaign::aggregate_sched(&results);
+    match fp_bench::record_bench(&fp_bench::BenchEntry {
+        name: "mitigation".into(),
+        git: fp_telemetry::git_describe(),
+        scheduler: sched_kind.name().into(),
+        threads: campaign.threads() as u64,
+        quick: fp_bench::quick(),
+        trials: cases.len() as u64,
+        wall_us: wall_us_total,
+        events: events_total,
+        events_per_sec: events_total as f64 * 1e6 / wall_us_total as f64,
+        sched_pushes: sched.pushes,
+        tt_detect_ns,
+        tt_mitigate_ns,
+        false_mitigations: Some(false_mitigations),
+    }) {
+        Ok(Some(p)) => println!("[bench {}]", p.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: cannot update bench json: {e}"),
+    }
+    if let Some(dir) = fp_telemetry::dir_from_env() {
+        let specs: Vec<TrialSpec> = cases.iter().map(|c| c.spec.clone()).collect();
+        let mut m = fp_bench::campaign_manifest(
+            "mitigation",
+            campaign.threads(),
+            &specs,
+            &timings,
+            wall_us_total,
+            sched_kind,
+            &sched,
+        );
+        // Attach the controller sweep: which cells ran closed-loop, with
+        // what knobs (Null stays the controller-less marker elsewhere).
+        m.ctrl = serde::Value::Map(
+            cases
+                .iter()
+                .map(|c| {
+                    (
+                        c.label.clone(),
+                        c.ctrl
+                            .map(|cfg| cfg.to_value())
+                            .unwrap_or(serde::Value::Null),
+                    )
+                })
+                .collect(),
+        );
+        let mdir = dir.join("mitigation");
+        match m.write(&mdir) {
+            Ok(()) => println!("[manifest {}]", mdir.join("manifest.json").display()),
+            Err(e) => eprintln!("warning: cannot write manifest in {}: {e}", mdir.display()),
+        }
+    }
+    save_json("mitigation", &rows);
+
+    if fp_bench::quick() {
+        println!("\nE9 (quick mode): reduced sweep, reporting without asserting.");
+        return;
+    }
+    // The acceptance bar: blackhole-class faults recover under the
+    // controller, never under the baseline; clean runs never mitigate.
+    for row in &rows {
+        let blackhole = row.label.starts_with("blackhole") || row.label.starts_with("dst_");
+        if row.controller && blackhole {
+            assert!(row.detected, "{}: controller missed the fault", row.label);
+            assert!(
+                row.recovered,
+                "{}: post {:.3e} < 95% of pre {:.3e}",
+                row.label, row.post_bps, row.pre_bps
+            );
+            assert_eq!(row.false_mitigations, 0, "{}", row.label);
+        }
+        if !row.controller && blackhole {
+            assert!(
+                !row.recovered,
+                "{}: baseline recovered without a controller",
+                row.label
+            );
+        }
+        if row.label.starts_with("clean") {
+            assert_eq!(
+                row.false_mitigations, 0,
+                "{}: mitigated a healthy fabric",
+                row.label
+            );
+        }
+    }
+    println!("\nE9 verdict: closed-loop mitigation restores goodput; zero false mitigations.");
+}

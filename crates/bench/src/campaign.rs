@@ -134,6 +134,9 @@ impl Campaign {
             events: events_total,
             events_per_sec: events_total as f64 * 1e6 / wall_us_total as f64,
             sched_pushes: sched.pushes,
+            tt_detect_ns: None,
+            tt_mitigate_ns: None,
+            false_mitigations: None,
         }) {
             Ok(Some(p)) => println!("[bench {}]", p.display()),
             Ok(None) => {}
@@ -202,6 +205,7 @@ pub fn campaign_manifest(
         scheduler: sched_kind.name().to_string(),
         sched: sched.to_value(),
         specs: specs.to_value(),
+        ctrl: serde::Value::Null,
     }
 }
 

@@ -156,6 +156,47 @@ fn heap_and_wheel_schedulers_are_byte_identical() {
 }
 
 #[test]
+fn controller_campaign_is_byte_identical_across_thread_counts() {
+    // Closed-loop trials carry extra state (an online monitor, scheduled
+    // control events); the worker-pool contract must hold for them too.
+    // Controllers are !Send, so each worker builds its own inside the map
+    // closure — exactly how a real controller sweep fans out.
+    use fp_ctrl::{run_ctrl_trial, CtrlConfig};
+    let specs: Vec<TrialSpec> = [5u64, 6]
+        .iter()
+        .map(|&seed| TrialSpec {
+            leaves: 4,
+            spines: 2,
+            bytes_per_node: 2 * 1024 * 1024,
+            iterations: 5,
+            seed,
+            fault: Some(FaultSpec {
+                kind: InjectedFault::Blackhole,
+                at_iter: 2,
+                heal_at_iter: None,
+                bidirectional: false,
+            }),
+            ..Default::default()
+        })
+        .collect();
+    let run = |threads: usize| {
+        Campaign::with_threads(threads).map(&specs, |s| run_ctrl_trial(s, CtrlConfig::default()))
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.ctrl, b.ctrl, "control-plane record diverged across pools");
+        assert_eq!(a.alarms, b.alarms);
+        assert_eq!(a.iter_goodput, b.iter_goodput);
+        assert_eq!(a.stats.events, b.stats.events);
+    }
+    // And the loop actually closed: the fault was mitigated in both runs.
+    assert!(serial
+        .iter()
+        .all(|r| r.ctrl.as_ref().unwrap().time_to_mitigate_ns.is_some()));
+}
+
+#[test]
 fn fp_threads_env_sets_pool_size() {
     // This is the only test in this binary touching FP_THREADS, so the
     // process-global env mutation cannot race another test.

@@ -205,4 +205,47 @@ mod tests {
         let o = loads(&[990.0]);
         assert!(d.compare(&e, &o).is_empty());
     }
+
+    #[test]
+    fn near_zero_prediction_with_real_traffic_is_flagged() {
+        // `min_expected` floor: a prediction *below* the floor but nonzero
+        // must behave like the zero case — real observed traffic on the
+        // port is a symmetry break, not a skipped comparison.
+        let d = Detector::new(0.01);
+        let e = loads(&[0.5]); // below min_expected = 1.0
+        let o = loads(&[900.0]);
+        let devs = d.compare(&e, &o);
+        assert_eq!(devs.len(), 1);
+        assert!(devs[0].rel.is_infinite());
+        assert_eq!(devs[0].observed, 900.0);
+    }
+
+    #[test]
+    fn tiny_expected_and_tiny_observed_is_not_a_spurious_alarm() {
+        // Divide-by-near-zero guard: 0.25 predicted vs 0.75 observed is a
+        // 200% "relative deviation" but both are noise below the floor —
+        // no alarm.
+        let d = Detector::new(0.01);
+        let e = loads(&[0.25]);
+        let o = loads(&[0.75]);
+        assert!(d.compare(&e, &o).is_empty());
+
+        // Same with observed exactly at the floor (strict `>` comparison).
+        let o_at_floor = loads(&[d.min_expected]);
+        assert!(d.compare(&e, &o_at_floor).is_empty());
+    }
+
+    #[test]
+    fn floor_boundary_uses_the_ratio_path() {
+        // A prediction exactly at `min_expected` participates in the
+        // normal relative comparison (`>=` floor check), so a genuine
+        // shortfall there still alarms with a finite rel.
+        let d = Detector::new(0.01);
+        let e = loads(&[1.0]);
+        let o = loads(&[0.5]);
+        let devs = d.compare(&e, &o);
+        assert_eq!(devs.len(), 1);
+        assert!((devs[0].rel + 0.5).abs() < 1e-12);
+        assert!(devs[0].rel.is_finite());
+    }
 }

@@ -32,6 +32,8 @@ use fp_netsim::topology::{FatTreeSpec, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 
 /// Which collective the measured job runs.
 #[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
@@ -85,6 +87,10 @@ pub enum InjectedFault {
     },
     /// Drop everything.
     Blackhole,
+    /// Destination-selective black hole: only packets destined to the fault
+    /// cable's leaf are dropped (a corrupted FIB entry for one prefix,
+    /// `fp_netsim::FaultKind::DstBlackhole`).
+    DstBlackhole,
 }
 
 /// A complete experiment scenario.
@@ -146,6 +152,96 @@ impl Default for TrialSpec {
     }
 }
 
+/// A control-plane phase, for telemetry labelling.
+#[derive(Copy, Clone, PartialEq, Eq, Serialize, Deserialize, Debug)]
+pub enum CtrlPhase {
+    /// The online monitor raised a fresh alarm.
+    Detect,
+    /// The localizer named culprit ports.
+    Localize,
+    /// A scheduled remediation was applied by the engine.
+    Mitigate,
+    /// Detection re-armed against the post-mitigation load shape.
+    Rebaseline,
+}
+
+impl CtrlPhase {
+    /// Stable lowercase label for telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            CtrlPhase::Detect => "detect",
+            CtrlPhase::Localize => "localize",
+            CtrlPhase::Mitigate => "mitigate",
+            CtrlPhase::Rebaseline => "rebaseline",
+        }
+    }
+}
+
+/// One timestamped control-plane step.
+#[derive(Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct CtrlAction {
+    /// Simulated time the step happened, nanoseconds.
+    pub t_ns: u64,
+    /// Which phase of the loop.
+    pub phase: CtrlPhase,
+    /// Free-form detail for humans.
+    pub detail: String,
+}
+
+/// What a controller did during a run, reported by
+/// [`TrialController::summary`] after the simulation drains.
+#[derive(Clone, Default, PartialEq, Serialize, Deserialize, Debug)]
+pub struct CtrlSummary {
+    /// Simulated time of the first fresh alarm the controller acted on.
+    pub detect_ns: Option<u64>,
+    /// Simulated time the first remediation was applied by the engine.
+    pub mitigate_ns: Option<u64>,
+    /// Iteration during which the first remediation landed.
+    pub mitigate_iter: Option<u32>,
+    /// `(leaf, vspine)` cables the controller admin-downed.
+    pub mitigated_ports: Vec<(u32, u32)>,
+    /// Times detection was re-armed (baseline relearns).
+    pub rebaselines: u32,
+    /// Every timestamped step, in order.
+    pub actions: Vec<CtrlAction>,
+}
+
+/// End-to-end closed-loop outcome of a controller-enabled trial: the
+/// controller's own record ([`CtrlSummary`]) joined with the harness's
+/// ground truth (fault install time and cable identity).
+#[derive(Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct CtrlOutcome {
+    /// Fault install → first acted-on alarm, nanoseconds. Measured from
+    /// run start when no fault was injected (a false detection).
+    pub time_to_detect_ns: Option<u64>,
+    /// Fault install → first remediation applied, nanoseconds.
+    pub time_to_mitigate_ns: Option<u64>,
+    /// Iteration during which the first remediation landed.
+    pub mitigate_iter: Option<u32>,
+    /// `(leaf, vspine)` cables the controller admin-downed.
+    pub mitigated_ports: Vec<(u32, u32)>,
+    /// Mitigated cables that were *not* the injected fault — healthy links
+    /// taken down by a wrong verdict (every mitigation in a fault-free run
+    /// counts).
+    pub false_mitigations: u32,
+    /// Times detection was re-armed.
+    pub rebaselines: u32,
+    /// Every timestamped control step, in order.
+    pub actions: Vec<CtrlAction>,
+}
+
+/// An online control plane riding a trial: called at every iteration end
+/// (counters for that iteration are complete, no later packets exist yet),
+/// free to read the simulator's counters and schedule remediation via
+/// [`Simulator::schedule_control`]. Implementations live in `fp-ctrl`;
+/// the harness only needs this interface, keeping the dependency one-way.
+pub trait TrialController {
+    /// Iteration `iter` of the measured job has fully completed.
+    fn on_iteration_end(&mut self, sim: &mut Simulator, iter: u32);
+    /// The controller's record of what it did.
+    fn summary(&self) -> CtrlSummary;
+}
+
 /// Everything a trial produced.
 #[derive(Clone, Debug)]
 pub struct TrialResult {
@@ -195,6 +291,12 @@ pub struct TrialResult {
     pub sched_kind: fp_netsim::engine::SchedKind,
     /// Scheduler occupancy counters (telemetry only, like `sched_kind`).
     pub sched: fp_netsim::engine::SchedStats,
+    /// Per-iteration goodput `(iter, bits/sec)` of the measured job, from
+    /// the engine's always-on span log: schedule bytes over iteration span.
+    pub iter_goodput: Vec<(u32, f64)>,
+    /// Closed-loop outcome when a controller rode the trial
+    /// ([`run_trial_ctl`]); `None` otherwise.
+    pub ctrl: Option<CtrlOutcome>,
 }
 
 // `fp-bench` campaigns fan trials out across worker threads; this fails to
@@ -291,6 +393,24 @@ pub fn run_trial_with(
     spec: &TrialSpec,
     recorder: Option<Box<dyn fp_telemetry::Recorder>>,
 ) -> (TrialResult, Option<Box<dyn fp_telemetry::Recorder>>) {
+    run_trial_ctl(spec, recorder, None)
+}
+
+/// [`run_trial_with`] plus an optional online [`TrialController`].
+///
+/// The controller is called back at every iteration end with `&mut
+/// Simulator`, so it can scan the counters incrementally and schedule
+/// remediation ([`Simulator::schedule_control`]) that lands after its
+/// reaction latency. The controller is shared via `Rc<RefCell<..>>` only
+/// for the duration of this call (the iteration-end hook holds one clone);
+/// nothing `!Send` escapes into the returned [`TrialResult`], so campaigns
+/// still fan controller-enabled trials across threads by constructing one
+/// controller per trial inside the worker.
+pub fn run_trial_ctl(
+    spec: &TrialSpec,
+    recorder: Option<Box<dyn fp_telemetry::Recorder>>,
+    controller: Option<Rc<RefCell<dyn TrialController>>>,
+) -> (TrialResult, Option<Box<dyn fp_telemetry::Recorder>>) {
     let job = 1u32;
     let topo = Topology::fat_tree(FatTreeSpec {
         leaves: spec.leaves,
@@ -311,6 +431,7 @@ pub fn run_trial_with(
     }
 
     let sched = build_schedule(spec);
+    let sched_total_bytes = sched.total_bytes();
     // Multi-destination collectives get the paper's §5.1 subset treatment:
     // one measured (tagged, prioritized) non-local flow per leaf; the rest
     // of the collective runs unmeasured. Demand models the subset only.
@@ -370,17 +491,24 @@ pub fn run_trial_with(
         ..Default::default()
     };
     let mut runner = CollectiveRunner::new(sched, rcfg);
+    // Ground-truth fault install time, for time-to-detect/-mitigate.
+    let install_ns: Rc<Cell<Option<u64>>> = Rc::new(Cell::new(None));
     if let (Some(f), Some((fleaf, fv))) = (spec.fault, fault_port) {
         let kind = match f.kind {
             InjectedFault::Drop { rate } => FaultKind::SilentDrop { rate },
             InjectedFault::Blackhole => FaultKind::SilentBlackhole,
+            InjectedFault::DstBlackhole => FaultKind::DstBlackhole {
+                dst_leaf: fleaf as u16,
+            },
         };
         let down = topo.downlink(fv, fleaf);
         let mut installed = false;
         let mut healed = false;
+        let install_ns = install_ns.clone();
         runner.set_iteration_start_hook(Box::new(move |sim, iter| {
             if !installed && iter >= f.at_iter {
                 installed = true;
+                install_ns.set(Some(sim.now().as_ns()));
                 sim.apply_fault_now(down, FaultAction::Set(kind), f.bidirectional);
             }
             if let Some(h) = f.heal_at_iter {
@@ -389,6 +517,11 @@ pub fn run_trial_with(
                     sim.apply_fault_now(down, FaultAction::Clear, f.bidirectional);
                 }
             }
+        }));
+    }
+    if let Some(ctl) = controller.clone() {
+        runner.set_iteration_end_hook(Box::new(move |sim, iter| {
+            ctl.borrow_mut().on_iteration_end(sim, iter);
         }));
     }
     sim.set_app(Box::new(runner));
@@ -447,13 +580,79 @@ pub fn run_trial_with(
         (None, None)
     };
 
+    // Per-iteration goodput of the measured job, from the engine's
+    // always-on span log.
+    let iter_goodput: Vec<(u32, f64)> = sim
+        .iter_spans()
+        .iter()
+        .filter(|s| s.job == job)
+        .map(|s| {
+            let span_ns = s.end.as_ns().saturating_sub(s.start.as_ns()).max(1);
+            (
+                s.iter,
+                sched_total_bytes as f64 * 8.0 / (span_ns as f64 * 1e-9),
+            )
+        })
+        .collect();
+
+    // Closed-loop outcome: join the controller's record with ground truth.
+    let ctrl = controller.map(|c| {
+        let s = c.borrow().summary();
+        let inst = install_ns.get();
+        // Latencies are relative to the fault install when one happened;
+        // absolute when the controller acted in a fault-free run (any such
+        // action is a false detection/mitigation).
+        let delta = |t: Option<u64>| match (t, inst) {
+            (Some(t), Some(i)) => Some(t.saturating_sub(i)),
+            (Some(t), None) => Some(t),
+            _ => None,
+        };
+        let false_mitigations = s
+            .mitigated_ports
+            .iter()
+            .filter(|&&p| Some(p) != fault_port)
+            .count() as u32;
+        CtrlOutcome {
+            time_to_detect_ns: delta(s.detect_ns),
+            time_to_mitigate_ns: delta(s.mitigate_ns),
+            mitigate_iter: s.mitigate_iter,
+            mitigated_ports: s.mitigated_ports,
+            false_mitigations,
+            rebaselines: s.rebaselines,
+            actions: s.actions,
+        }
+    });
+
     // Structured-event export: drain the trace ring, the monitor's alarms
     // and the trial milestones into the recorder, then hand it back.
     let mut recorder = sim.take_recorder();
     if let Some(rec) = recorder.as_deref_mut() {
         let end_ns = sim.now().as_ns();
         sim.trace.export_into(rec);
-        monitor.export_alarms(end_ns, rec);
+        monitor.export_alarms(end_ns, rec, |a| {
+            let loc = localization.as_ref()?;
+            a.deviations.iter().find_map(|d| {
+                let p = (d.leaf, d.vspine);
+                if loc.cables.contains(&p) {
+                    Some(format!("cable({},{})", p.0, p.1))
+                } else if loc.unpaired.contains(&p) {
+                    Some(format!("unpaired({},{})", p.0, p.1))
+                } else {
+                    None
+                }
+            })
+        });
+        if let Some(c) = &ctrl {
+            for a in &c.actions {
+                rec.on_event(
+                    a.t_ns,
+                    &fp_telemetry::Event::Control {
+                        phase: a.phase.name().into(),
+                        detail: a.detail.clone(),
+                    },
+                );
+            }
+        }
         if let (Some(f), Some((fleaf, fv))) = (spec.fault, fault_port) {
             rec.on_event(
                 end_ns,
@@ -509,6 +708,8 @@ pub fn run_trial_with(
         observed_by_src,
         sched_kind: sim.sched_kind(),
         sched: sim.sched_stats(),
+        iter_goodput,
+        ctrl,
     };
     (result, recorder)
 }
@@ -857,6 +1058,115 @@ mod tests {
         assert_eq!(base.iter_max_dev, r.iter_max_dev);
         assert_eq!(base.alarms, r.alarms);
         assert_eq!(base.stats.pkts_txed, r.stats.pkts_txed);
+    }
+
+    #[test]
+    fn iter_goodput_is_populated_and_steady_when_clean() {
+        let r = run_trial(&small_spec());
+        assert_eq!(r.iter_goodput.len(), 3);
+        for (i, &(iter, bps)) in r.iter_goodput.iter().enumerate() {
+            assert_eq!(iter, i as u32);
+            assert!(bps > 0.0);
+        }
+        let (_, g0) = r.iter_goodput[0];
+        for &(_, g) in &r.iter_goodput {
+            assert!(
+                (g - g0).abs() / g0 < 0.05,
+                "clean goodput varies: {g} vs {g0}"
+            );
+        }
+        assert!(r.ctrl.is_none(), "no controller, no ctrl outcome");
+    }
+
+    #[test]
+    fn dst_blackhole_is_detected_like_a_blackhole() {
+        let mut spec = small_spec();
+        spec.fault = Some(FaultSpec {
+            kind: InjectedFault::DstBlackhole,
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        });
+        let r = run_trial(&spec);
+        assert!(r.detected);
+        assert!(!r.false_alarm);
+    }
+
+    /// Scripted controller: admin-down a fixed cable at the end of a fixed
+    /// iteration — exercises the `run_trial_ctl` plumbing without the real
+    /// `fp-ctrl` logic (which lives downstream of this crate).
+    struct Scripted {
+        at_iter: u32,
+        cable: (u32, u32),
+        summary: CtrlSummary,
+    }
+    impl TrialController for Scripted {
+        fn on_iteration_end(&mut self, sim: &mut Simulator, iter: u32) {
+            if iter == self.at_iter && self.summary.detect_ns.is_none() {
+                let now = sim.now();
+                let (leaf, v) = self.cable;
+                let link = sim.topo.downlink(v, leaf);
+                sim.schedule_control(
+                    now + SimDuration::from_us(5),
+                    fp_netsim::control::ControlAction::admin_down_cable(link),
+                );
+                self.summary.detect_ns = Some(now.as_ns());
+            }
+            for ac in sim.applied_controls() {
+                if self.summary.mitigate_ns.is_none() {
+                    self.summary.mitigate_ns = Some(ac.at.as_ns());
+                    self.summary.mitigate_iter = Some(iter);
+                    self.summary.mitigated_ports.push(self.cable);
+                }
+            }
+        }
+        fn summary(&self) -> CtrlSummary {
+            self.summary.clone()
+        }
+    }
+
+    #[test]
+    fn scripted_controller_flows_into_ctrl_outcome() {
+        let mut spec = small_spec();
+        spec.iterations = 4;
+        spec.fault = Some(FaultSpec {
+            kind: InjectedFault::Blackhole,
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        });
+        // Dry-run to learn where the fault lands, then script that cable.
+        let probe = run_trial(&spec);
+        let cable = probe.fault_port.unwrap();
+        let ctl = Rc::new(RefCell::new(Scripted {
+            at_iter: 1,
+            cable,
+            summary: CtrlSummary::default(),
+        }));
+        let (r, _) = run_trial_ctl(&spec, None, Some(ctl));
+        let c = r.ctrl.expect("controller ran");
+        assert!(c.time_to_detect_ns.is_some());
+        assert!(c.time_to_mitigate_ns.is_some());
+        assert!(c.time_to_mitigate_ns >= c.time_to_detect_ns);
+        assert_eq!(c.mitigated_ports, vec![cable]);
+        assert_eq!(c.false_mitigations, 0, "the scripted cable IS the fault");
+        // Post-mitigation goodput beats the unmitigated faulty iteration.
+        let g = |i: usize| r.iter_goodput[i].1;
+        assert!(g(3) > g(1), "mitigation should restore goodput");
+    }
+
+    #[test]
+    fn scripted_controller_on_healthy_cable_counts_false_mitigation() {
+        let mut spec = small_spec();
+        spec.iterations = 3;
+        let ctl = Rc::new(RefCell::new(Scripted {
+            at_iter: 0,
+            cable: (2, 1),
+            summary: CtrlSummary::default(),
+        }));
+        let (r, _) = run_trial_ctl(&spec, None, Some(ctl));
+        let c = r.ctrl.expect("controller ran");
+        assert_eq!(c.false_mitigations, 1, "healthy cable downed in clean run");
     }
 
     #[test]

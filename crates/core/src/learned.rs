@@ -70,6 +70,17 @@ impl LearnedModel {
         self.baseline.as_ref()
     }
 
+    /// Drop the baseline and all warm-up samples, forcing the model to
+    /// relearn from the next observations. Used by the control plane after
+    /// a remediation lands: the post-mitigation fabric has a new
+    /// `d/(s−f)` load shape, so detection must re-arm against it rather
+    /// than keep comparing to the pre-fault baseline.
+    pub fn force_relearn(&mut self) {
+        self.baseline = None;
+        self.samples.clear();
+        self.rebaselines += 1;
+    }
+
     /// Feed one iteration's observed loads, in order.
     pub fn observe(&mut self, obs: &PortLoads) -> LearnedUpdate {
         let Some(base) = self.baseline.clone() else {

@@ -75,8 +75,9 @@ pub mod prelude {
     };
     pub use crate::detector::{Detector, Deviation};
     pub use crate::eval::{
-        roc_curve, run_trial, run_trial_with, CollectiveKind, FaultSpec, InjectedFault, ModelKind,
-        Rates, RocPoint, TrialResult, TrialSpec,
+        roc_curve, run_trial, run_trial_ctl, run_trial_with, CollectiveKind, CtrlAction,
+        CtrlOutcome, CtrlPhase, CtrlSummary, FaultSpec, InjectedFault, ModelKind, Rates, RocPoint,
+        TrialController, TrialResult, TrialSpec,
     };
     pub use crate::learned::{LearnedModel, LearnedUpdate};
     pub use crate::localizer::{Localizer, PortVerdict, RingLocalization};

@@ -37,6 +37,13 @@ pub struct Alarm {
     pub leaf: u32,
     /// The offending ports.
     pub deviations: Vec<Deviation>,
+    /// Hysteresis flag: `true` if this alarm opens a fault *episode* —
+    /// i.e. at least one of its ports was not already alarming on the
+    /// immediately preceding iteration. Consecutive-iteration repeats of
+    /// an uncleared fault have `fresh = false`, so episode consumers (the
+    /// control plane, the JSONL export) see one alarm per fault, while
+    /// per-iteration detection rates still count every alarm.
+    pub fresh: bool,
 }
 
 /// Continuous per-job monitor.
@@ -55,6 +62,9 @@ pub struct Monitor {
     pub iter_max_dev: Vec<(u32, f64)>,
     /// Learned-model verdicts per iteration (empty for fixed models).
     pub learned_events: Vec<(u32, LearnedUpdate)>,
+    /// Hysteresis state: last iteration each `(leaf, vspine)` port
+    /// alarmed, for episode freshness tracking.
+    port_last_alarm: std::collections::BTreeMap<(u32, u32), u32>,
 }
 
 impl Monitor {
@@ -68,6 +78,7 @@ impl Monitor {
             alarms: Vec::new(),
             iter_max_dev: Vec::new(),
             learned_events: Vec::new(),
+            port_last_alarm: Default::default(),
         }
     }
 
@@ -82,6 +93,7 @@ impl Monitor {
             alarms: Vec::new(),
             iter_max_dev: Vec::new(),
             learned_events: Vec::new(),
+            port_last_alarm: Default::default(),
         }
     }
 
@@ -147,21 +159,69 @@ impl Monitor {
             by_leaf.entry(d.leaf).or_default().push(d);
         }
         for (leaf, deviations) in by_leaf {
+            // Hysteresis: the alarm is fresh (opens an episode) unless every
+            // one of its ports was already alarming on the previous
+            // iteration. Ports within one iteration are unique, so updating
+            // the map per leaf-group cannot affect sibling groups.
+            let fresh = iter == 0
+                || deviations
+                    .iter()
+                    .any(|d| self.port_last_alarm.get(&(d.leaf, d.vspine)) != Some(&(iter - 1)));
+            for d in &deviations {
+                self.port_last_alarm.insert((d.leaf, d.vspine), iter);
+            }
             self.alarms.push(Alarm {
                 iter,
                 leaf,
                 deviations,
+                fresh,
             });
         }
     }
 
-    /// Export every alarm raised so far into a telemetry recorder as
-    /// structured [`fp_telemetry::Event::Alarm`]s. Monitoring is post-hoc
-    /// (counters are scanned after the run), so the caller supplies the
-    /// simulated time `at_ns` the scan is attributed to — conventionally
-    /// the end-of-run clock.
-    pub fn export_alarms(&self, at_ns: u64, rec: &mut dyn fp_telemetry::Recorder) {
-        for a in &self.alarms {
+    /// Reset detection state after a remediation landed: force the learned
+    /// model (if any) to relearn its baseline against the post-mitigation
+    /// load shape, and clear the alarm-episode hysteresis so the next fault
+    /// raises a fresh alarm. Past alarms are kept (rates/figures depend on
+    /// the complete per-iteration record).
+    pub fn rebaseline(&mut self) {
+        if let ModelSource::Learned(lm) = &mut self.model {
+            lm.force_relearn();
+        }
+        self.port_last_alarm.clear();
+    }
+
+    /// Skip evaluation forward to `iter`: iterations before it that have
+    /// not yet been scanned are discarded without being compared. The
+    /// control plane uses this to drop the mixed iteration during which a
+    /// remediation landed mid-flight (partly faulty, partly healthy — it
+    /// would poison a relearned baseline).
+    pub fn skip_to(&mut self, iter: u32) {
+        self.next_iter = self.next_iter.max(iter);
+    }
+
+    /// Alarms that opened a fault episode (see [`Alarm::fresh`]) at
+    /// iteration ≥ `from`.
+    pub fn fresh_alarms(&self, from: u32) -> impl Iterator<Item = &Alarm> {
+        self.alarms
+            .iter()
+            .filter(move |a| a.fresh && a.iter >= from)
+    }
+
+    /// Export alarms into a telemetry recorder as structured
+    /// [`fp_telemetry::Event::Alarm`]s. Only *fresh* alarms are exported —
+    /// one per fault episode, not one per iteration (see [`Alarm::fresh`]).
+    /// `verdict` attaches each alarm's localization verdict, when one is
+    /// known. Monitoring is post-hoc (counters are scanned after the run),
+    /// so the caller supplies the simulated time `at_ns` the scan is
+    /// attributed to — conventionally the end-of-run clock.
+    pub fn export_alarms(
+        &self,
+        at_ns: u64,
+        rec: &mut dyn fp_telemetry::Recorder,
+        verdict: impl Fn(&Alarm) -> Option<String>,
+    ) {
+        for a in self.alarms.iter().filter(|a| a.fresh) {
             let worst_rel = a
                 .deviations
                 .iter()
@@ -174,6 +234,7 @@ impl Monitor {
                     iter: a.iter,
                     leaf: a.leaf,
                     worst_rel,
+                    verdict: verdict(a),
                 },
             );
         }
@@ -326,5 +387,87 @@ mod tests {
         assert_eq!(m.alarmed_ports(0), vec![(0, 0)]);
         assert_eq!(m.alarms.len(), 3); // one per iteration
         assert_eq!(m.alarms_in(1, 2).count(), 1);
+    }
+
+    #[test]
+    fn hysteresis_one_fresh_alarm_per_episode() {
+        // One uncleared fault alarming on three consecutive iterations:
+        // episode consumers see exactly one fresh alarm, per-iteration
+        // consumers still see all three.
+        let s = store(&[[900, 1000], [900, 1000], [900, 1000]]);
+        let mut m = Monitor::new_fixed(1, Detector::new(0.01), prediction(1000.0, 1000.0));
+        m.scan(&s, true);
+        assert_eq!(m.alarms.len(), 3);
+        assert_eq!(m.fresh_alarms(0).count(), 1);
+        assert_eq!(m.fresh_alarms(0).next().unwrap().iter, 0);
+    }
+
+    #[test]
+    fn hysteresis_gap_reopens_episode() {
+        // Fault alarms, clears for one iteration, then alarms again: two
+        // distinct episodes, two fresh alarms.
+        let s = store(&[[900, 1000], [1000, 1000], [900, 1000], [900, 1000]]);
+        let mut m = Monitor::new_fixed(1, Detector::new(0.01), prediction(1000.0, 1000.0));
+        m.scan(&s, true);
+        assert_eq!(m.alarms.len(), 3);
+        let fresh: Vec<u32> = m.fresh_alarms(0).map(|a| a.iter).collect();
+        assert_eq!(fresh, vec![0, 2]);
+    }
+
+    #[test]
+    fn rebaseline_rearms_hysteresis_and_relearns() {
+        let s = store(&[[900, 1000], [900, 1000]]);
+        let mut m = Monitor::new_fixed(1, Detector::new(0.01), prediction(1000.0, 1000.0));
+        m.scan(&s, false); // iter 0 closed, alarmed
+        assert_eq!(m.fresh_alarms(0).count(), 1);
+        m.rebaseline();
+        m.scan(&s, true); // iter 1: same ports, but hysteresis was cleared
+        assert_eq!(m.alarms.len(), 2);
+        assert_eq!(m.fresh_alarms(0).count(), 2, "rebaseline re-arms episodes");
+
+        let mut lm = Monitor::new_learned(1, Detector::new(0.01), 1);
+        lm.scan(&store(&[[1000, 1000], [1000, 1000]]), true);
+        assert!(lm.learned().unwrap().baseline().is_some());
+        lm.rebaseline();
+        assert!(lm.learned().unwrap().baseline().is_none());
+        assert_eq!(lm.learned().unwrap().rebaselines, 1);
+    }
+
+    #[test]
+    fn skip_to_discards_mixed_iterations() {
+        // Iteration 1 is "mixed" (remediation landed mid-iteration): a
+        // controller skips it before its counters close, so it is never
+        // evaluated even though the skipped data looks alarming.
+        let mut m = Monitor::new_fixed(1, Detector::new(0.01), prediction(1000.0, 1000.0));
+        m.scan(&store(&[[1000, 1000], [600, 1000]]), false); // closes iter 0 only
+        m.skip_to(2);
+        m.scan(&store(&[[1000, 1000], [600, 1000], [1000, 1000]]), true);
+        assert!(m.alarms.is_empty(), "skipped iteration must not alarm");
+        assert_eq!(m.iter_max_dev.len(), 2); // iters 0 and 2
+    }
+
+    #[test]
+    fn export_emits_fresh_alarms_with_verdicts() {
+        struct Collect(Vec<fp_telemetry::Event>);
+        impl fp_telemetry::Recorder for Collect {
+            fn on_event(&mut self, _t: u64, ev: &fp_telemetry::Event) {
+                self.0.push(ev.clone());
+            }
+        }
+        let s = store(&[[900, 1000], [900, 1000], [900, 1000]]);
+        let mut m = Monitor::new_fixed(1, Detector::new(0.01), prediction(1000.0, 1000.0));
+        m.scan(&s, true);
+        let mut c = Collect(Vec::new());
+        m.export_alarms(42, &mut c, |a| Some(format!("cable({},0)", a.leaf)));
+        assert_eq!(c.0.len(), 1, "one export per episode, not per iteration");
+        assert_eq!(
+            c.0[0],
+            fp_telemetry::Event::Alarm {
+                iter: 0,
+                leaf: 0,
+                worst_rel: -0.1,
+                verdict: Some("cable(0,0)".into()),
+            }
+        );
     }
 }

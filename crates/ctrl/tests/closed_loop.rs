@@ -1,0 +1,146 @@
+//! End-to-end closed-loop scenarios: the controller catches an injected
+//! fault, admin-downs the right cable, and training goodput recovers —
+//! while a controller-less baseline stays degraded. Plus the determinism
+//! contract: a controller-enabled trial is byte-identical across event
+//! scheduler backends.
+
+use flowpulse::prelude::*;
+use fp_ctrl::{run_ctrl_trial, CtrlConfig};
+use fp_netsim::engine::SchedKind;
+use fp_netsim::time::SimDuration;
+
+fn spec_with(kind: InjectedFault, at_iter: u32) -> TrialSpec {
+    TrialSpec {
+        leaves: 8,
+        spines: 4,
+        bytes_per_node: 8 * 1024 * 1024,
+        iterations: 8,
+        fault: Some(FaultSpec {
+            kind,
+            at_iter,
+            heal_at_iter: None,
+            bidirectional: false,
+        }),
+        ..Default::default()
+    }
+}
+
+/// Mean goodput of the pre-fault iterations.
+fn pre_fault_goodput(r: &TrialResult, at_iter: u32) -> f64 {
+    let pre: Vec<f64> = r
+        .iter_goodput
+        .iter()
+        .filter(|&&(i, _)| i < at_iter)
+        .map(|&(_, g)| g)
+        .collect();
+    assert!(!pre.is_empty());
+    pre.iter().sum::<f64>() / pre.len() as f64
+}
+
+fn last_goodput(r: &TrialResult) -> f64 {
+    r.iter_goodput.last().expect("iterations ran").1
+}
+
+fn assert_recovers(kind: InjectedFault, name: &str) {
+    let spec = spec_with(kind, 2);
+    let ctl = run_ctrl_trial(&spec, CtrlConfig::default());
+    let base = run_trial(&spec);
+
+    let c = ctl.ctrl.as_ref().expect("controller rode the trial");
+    assert!(c.time_to_detect_ns.is_some(), "{name}: never detected");
+    assert!(c.time_to_mitigate_ns.is_some(), "{name}: never mitigated");
+    assert_eq!(
+        c.mitigated_ports,
+        vec![ctl.fault_port.unwrap()],
+        "{name}: wrong cable pulled"
+    );
+    assert_eq!(c.false_mitigations, 0, "{name}: healthy cable pulled");
+
+    let pre = pre_fault_goodput(&ctl, 2);
+    let post = last_goodput(&ctl);
+    assert!(
+        post >= 0.95 * pre,
+        "{name}: post-mitigation goodput {post:.3e} not within 5% of pre-fault {pre:.3e}"
+    );
+    // The controller-less baseline stays degraded to the end of the run.
+    let base_pre = pre_fault_goodput(&base, 2);
+    let base_post = last_goodput(&base);
+    assert!(
+        base_post < 0.95 * base_pre,
+        "{name}: baseline recovered on its own ({base_post:.3e} vs {base_pre:.3e}) — \
+         the controller comparison is meaningless"
+    );
+}
+
+#[test]
+fn blackhole_goodput_recovers_under_the_controller() {
+    assert_recovers(InjectedFault::Blackhole, "blackhole");
+}
+
+#[test]
+fn dst_blackhole_goodput_recovers_under_the_controller() {
+    assert_recovers(InjectedFault::DstBlackhole, "dst_blackhole");
+}
+
+#[test]
+fn fault_free_run_has_zero_false_mitigations() {
+    let spec = TrialSpec {
+        leaves: 8,
+        spines: 4,
+        bytes_per_node: 8 * 1024 * 1024,
+        iterations: 6,
+        ..Default::default()
+    };
+    let r = run_ctrl_trial(&spec, CtrlConfig::default());
+    let c = r.ctrl.expect("controller rode the trial");
+    assert_eq!(c.false_mitigations, 0);
+    assert!(c.mitigated_ports.is_empty());
+}
+
+#[test]
+fn reaction_latency_delays_mitigation() {
+    let slow = CtrlConfig {
+        reaction_latency: SimDuration::from_us(200),
+        ..CtrlConfig::default()
+    };
+    let fast = CtrlConfig {
+        reaction_latency: SimDuration::from_us(0),
+        ..CtrlConfig::default()
+    };
+    let spec = spec_with(InjectedFault::Blackhole, 2);
+    let s = run_ctrl_trial(&spec, slow).ctrl.unwrap();
+    let f = run_ctrl_trial(&spec, fast).ctrl.unwrap();
+    assert_eq!(s.time_to_detect_ns, f.time_to_detect_ns);
+    assert!(
+        s.time_to_mitigate_ns.unwrap() >= f.time_to_mitigate_ns.unwrap() + 200_000,
+        "slow {s:?} vs fast {f:?}"
+    );
+}
+
+/// The determinism contract extended to the control plane: the full
+/// closed-loop trial — alarms, control actions, goodput trajectory,
+/// event totals — is identical whichever scheduler backend runs it.
+#[test]
+fn controller_trial_is_byte_identical_across_sched_backends() {
+    let mut heap_spec = spec_with(InjectedFault::Blackhole, 2);
+    heap_spec.sim.sched = Some(SchedKind::Heap);
+    let mut wheel_spec = heap_spec.clone();
+    wheel_spec.sim.sched = Some(SchedKind::Wheel);
+
+    let h = run_ctrl_trial(&heap_spec, CtrlConfig::default());
+    let w = run_ctrl_trial(&wheel_spec, CtrlConfig::default());
+    assert_eq!(h.sched_kind, SchedKind::Heap);
+    assert_eq!(w.sched_kind, SchedKind::Wheel);
+
+    assert_eq!(h.ctrl, w.ctrl, "control-plane record diverged");
+    assert_eq!(h.alarms, w.alarms);
+    assert_eq!(h.stats.events, w.stats.events);
+    // Byte-level: the serialized closed-loop story must match exactly.
+    let story = |r: &TrialResult| {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            r.ctrl, r.alarms, r.iter_goodput, r.iter_max_dev
+        )
+    };
+    assert_eq!(story(&h), story(&w));
+}

@@ -55,6 +55,12 @@ pub enum EventKind {
         /// Index into the schedule.
         idx: u32,
     },
+    /// Apply entry `idx` of the control-action schedule (remediation issued
+    /// by a control plane, landing after its reaction latency).
+    ControlUpdate {
+        /// Index into the control schedule.
+        idx: u32,
+    },
     /// A PFC pause/resume frame takes effect at the transmitter of `link`.
     Pfc {
         /// The directed link whose transmitter is being paused/resumed.

@@ -47,6 +47,7 @@
 pub mod app;
 pub mod bitset;
 pub mod config;
+pub mod control;
 pub mod counters;
 pub mod engine;
 pub mod fault;
@@ -68,12 +69,13 @@ pub mod wheel;
 pub mod prelude {
     pub use crate::app::{Application, MultiApp, NullApp};
     pub use crate::config::{PfcConfig, SimConfig};
+    pub use crate::control::{AppliedControl, ControlAction, ControlEvent, ControlVerb};
     pub use crate::counters::{CounterStore, IterCounters};
     pub use crate::engine::{SchedKind, SchedStats};
     pub use crate::fault::{FaultAction, FaultEvent, FaultKind};
     pub use crate::ids::{HostId, LinkId, NodeId, SwitchId};
     pub use crate::packet::{CollectiveTag, FlowId, Packet, Priority};
-    pub use crate::sim::{RunReason, RunSummary, Simulator};
+    pub use crate::sim::{IterSpanRecord, RunReason, RunSummary, Simulator};
     pub use crate::spray::SprayPolicy;
     pub use crate::stats::{DropCause, Stats};
     pub use crate::time::{SimDuration, SimTime};

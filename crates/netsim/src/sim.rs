@@ -20,6 +20,7 @@
 
 use crate::app::Application;
 use crate::config::SimConfig;
+use crate::control::{AppliedControl, ControlAction, ControlEvent, ControlVerb};
 use crate::counters::CounterStore;
 use crate::engine::{EventKind, EventQueue, SchedKind, SchedStats, Scheduler};
 use crate::fault::{FaultAction, FaultEvent, FaultKind};
@@ -164,6 +165,21 @@ pub struct RunSummary {
     pub reason: RunReason,
 }
 
+/// One completed collective iteration, as reported by a workload runner.
+/// Always logged by the engine (no recorder needed) so goodput and
+/// control-plane latencies can be measured on any run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct IterSpanRecord {
+    /// Job identifier.
+    pub job: u32,
+    /// Iteration number within the job.
+    pub iter: u32,
+    /// When the iteration's first transfer was posted.
+    pub start: SimTime,
+    /// When the iteration's last transfer completed.
+    pub end: SimTime,
+}
+
 /// The packet-level fat-tree simulator.
 pub struct Simulator {
     /// Configuration (immutable after construction).
@@ -204,6 +220,9 @@ pub struct Simulator {
     app: Option<Box<dyn Application>>,
     app_started: bool,
     fault_events: Vec<FaultEvent>,
+    control_events: Vec<ControlEvent>,
+    applied_controls: Vec<AppliedControl>,
+    iter_spans: Vec<IterSpanRecord>,
     recorder: Option<Box<dyn Recorder>>,
     scratch_cands: Vec<LinkId>,
     scratch_loads: Vec<u64>,
@@ -287,6 +306,9 @@ impl Simulator {
             app: None,
             app_started: false,
             fault_events: Vec::new(),
+            control_events: Vec::new(),
+            applied_controls: Vec::new(),
+            iter_spans: Vec::new(),
             recorder: None,
             scratch_cands: Vec::new(),
             scratch_loads: Vec::new(),
@@ -363,12 +385,26 @@ impl Simulator {
         self.recorder.is_some()
     }
 
-    /// Report a completed collective iteration span to the attached
-    /// recorder (no-op without one). Called by workload runners.
+    /// Report a completed collective iteration span. Always appended to the
+    /// in-sim span log (see [`Simulator::iter_spans`]) so goodput and
+    /// control-plane timing can be computed without a recorder; additionally
+    /// forwarded to the telemetry recorder when one is attached. Called by
+    /// workload runners.
     pub fn record_iteration_span(&mut self, job: u32, iter: u32, start: SimTime, end: SimTime) {
+        self.iter_spans.push(IterSpanRecord {
+            job,
+            iter,
+            start,
+            end,
+        });
         if let Some(rec) = self.recorder.as_mut() {
             rec.on_iteration(job, iter, start.as_ns(), end.as_ns());
         }
+    }
+
+    /// Completed collective iteration spans, in completion order.
+    pub fn iter_spans(&self) -> &[IterSpanRecord] {
+        &self.iter_spans
     }
 
     /// Sampler tick: hand every link's egress state to the recorder.
@@ -409,6 +445,51 @@ impl Simulator {
         let idx = self.fault_events.len() as u32;
         self.fault_events.push(ev);
         self.heap.push(ev.at, EventKind::FaultUpdate { idx });
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane
+    // ------------------------------------------------------------------
+
+    /// Schedule a control-plane action (remediation) to land at `at`.
+    ///
+    /// The action rides the same future-event scheduler as every other
+    /// event, so a controller-enabled run stays byte-identical across
+    /// scheduler backends and thread counts. Returns the schedule index,
+    /// which reappears in [`Simulator::applied_controls`] once the action
+    /// has taken effect.
+    pub fn schedule_control(&mut self, at: SimTime, action: ControlAction) -> u32 {
+        let idx = self.control_events.len() as u32;
+        self.control_events.push(ControlEvent { at, action });
+        self.heap.push(at, EventKind::ControlUpdate { idx });
+        idx
+    }
+
+    /// The full control-action schedule so far (applied or pending).
+    pub fn control_events(&self) -> &[ControlEvent] {
+        &self.control_events
+    }
+
+    /// Append-only log of control actions that have been applied.
+    pub fn applied_controls(&self) -> &[AppliedControl] {
+        &self.applied_controls
+    }
+
+    /// Apply a control action immediately, logging it with schedule index
+    /// `idx`.
+    fn apply_control(&mut self, idx: u32, action: ControlAction) {
+        self.trace
+            .push(self.now, TraceEvent::ControlApplied { link: action.link });
+        let fault_action = match action.verb {
+            ControlVerb::AdminDown => FaultAction::Set(FaultKind::AdminDown),
+            ControlVerb::Restore => FaultAction::Clear,
+        };
+        self.apply_fault_now(action.link, fault_action, action.bidirectional);
+        self.applied_controls.push(AppliedControl {
+            at: self.now,
+            idx,
+            action,
+        });
     }
 
     /// Apply a fault action right now.
@@ -734,6 +815,10 @@ impl Simulator {
             EventKind::FaultUpdate { idx } => {
                 let ev = self.fault_events[idx as usize];
                 self.apply_fault_now(ev.link, ev.action, ev.bidirectional);
+            }
+            EventKind::ControlUpdate { idx } => {
+                let ev = self.control_events[idx as usize];
+                self.apply_control(idx, ev.action);
             }
             EventKind::Pfc { link, prio, pause } => self.handle_pfc(link, prio, pause),
             EventKind::AckFlush { flow } => self.handle_ack_flush(flow),
@@ -1617,6 +1702,37 @@ mod tests {
         assert_eq!(s.valid_uplinks(2, 0).len(), 1);
         s.apply_fault_now(up, FaultAction::Clear, true);
         assert_eq!(s.valid_uplinks(2, 0).len(), 2);
+    }
+
+    #[test]
+    fn scheduled_control_applies_on_the_engine_clock() {
+        use crate::control::{ControlAction, ControlVerb};
+        let mut s = sim(37);
+        let cable = s.topo.uplink(0, 0);
+        let down_at = SimTime::from_ns(50_000);
+        let up_at = SimTime::from_ns(150_000);
+        s.schedule_control(down_at, ControlAction::admin_down_cable(cable));
+        s.schedule_control(up_at, ControlAction::restore_cable(cable));
+        s.post_message(HostId(0), HostId(3), 2_000_000, None, Priority::MEASURED);
+        s.run();
+        assert!(s.all_flows_complete());
+        // Applied exactly at their scheduled times, in order.
+        let applied = s.applied_controls();
+        assert_eq!(applied.len(), 2);
+        assert_eq!(applied[0].at, down_at);
+        assert_eq!(applied[0].action.verb, ControlVerb::AdminDown);
+        assert_eq!(applied[1].at, up_at);
+        assert_eq!(applied[1].action.verb, ControlVerb::Restore);
+        // The restore returned the cable to routing.
+        assert_eq!(s.valid_uplinks(0, 3).len(), 2);
+        // Both transitions landed in the trace ring.
+        let controls = s
+            .trace
+            .to_records()
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::ControlApplied { link } if link == cable))
+            .count();
+        assert_eq!(controls, 2);
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub enum TraceEvent {
         /// The abandoned flow.
         flow: FlowId,
     },
+    /// A control-plane action (remediation) was applied to a link.
+    ControlApplied {
+        /// Target link.
+        link: LinkId,
+    },
 }
 
 impl TraceEvent {
@@ -78,6 +83,10 @@ impl TraceEvent {
             },
             TraceEvent::FlowFailed { flow } => Event::FlowFailed {
                 flow: u64::from(flow),
+            },
+            TraceEvent::ControlApplied { link } => Event::Control {
+                phase: "apply".into(),
+                detail: format!("link {}", link.0),
             },
         }
     }

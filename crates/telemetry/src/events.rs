@@ -53,11 +53,23 @@ pub enum Event {
         leaf: u32,
         /// Worst relative deviation across the leaf's ports.
         worst_rel: f64,
+        /// Localization verdict for this alarm, when a localizer ran —
+        /// e.g. `"cable(3,1)"` or `"unpaired(3,1)"`. Absent on legacy
+        /// records and when localization found nothing for this leaf.
+        verdict: Option<String>,
     },
     /// A named run milestone (fault installed/healed, detection, ...).
     Milestone {
         /// Short machine-stable name, e.g. `"fault_installed"`.
         name: String,
+        /// Free-form detail for humans.
+        detail: String,
+    },
+    /// A control-plane step (closed-loop remediation: detect, localize,
+    /// mitigate, rebaseline, apply).
+    Control {
+        /// Short machine-stable phase name, e.g. `"mitigate"`.
+        phase: String,
         /// Free-form detail for humans.
         detail: String,
     },
@@ -93,6 +105,14 @@ mod tests {
                     iter: 2,
                     leaf: 1,
                     worst_rel: 0.25,
+                    verdict: Some("cable(1,0)".into()),
+                },
+            },
+            EventRecord {
+                t_ns: 9,
+                event: Event::Control {
+                    phase: "mitigate".into(),
+                    detail: "admin_down leaf 1 vspine 0".into(),
                 },
             },
         ];

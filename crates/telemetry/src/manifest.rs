@@ -37,6 +37,11 @@ pub struct Manifest {
     pub sched: Value,
     /// The full trial spec list, serialized by the caller.
     pub specs: Value,
+    /// Control-plane (closed-loop remediation) summary when the campaign
+    /// ran with a controller — time-to-detect / time-to-mitigate /
+    /// false-mitigation aggregates, serialized by the caller. `Null` for
+    /// controller-less campaigns.
+    pub ctrl: Value,
 }
 
 impl Manifest {
@@ -85,6 +90,7 @@ mod tests {
                 "seed".to_string(),
                 Value::U64(1000),
             )])]),
+            ctrl: Value::Null,
         };
         let dir = std::env::temp_dir().join(format!("fp-manifest-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);

@@ -20,7 +20,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo bench --workspace --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run -q
 
-BINARIES=(fig5a fig5b fig5c preexisting ablate_spray ablate_jitter)
+BINARIES=(fig5a fig5b fig5c preexisting ablate_spray ablate_jitter mitigation)
 t1="$(mktemp -d)"
 t4="$(mktemp -d)"
 tt="$(mktemp -d)"
@@ -41,7 +41,7 @@ done
 echo "==> FP_SCHED=heap smoke: scheduler backend must not change output bytes"
 th="$(mktemp -d)"
 trap 'rm -rf "$t1" "$t4" "$tt" "$th"' EXIT
-for bin in fig5a preexisting; do
+for bin in fig5a preexisting mitigation; do
     FP_QUICK=1 FP_THREADS=4 FP_SCHED=heap FP_RESULTS="$th" \
         cargo run --release -q -p fp-bench --bin "$bin" >/dev/null
     cmp "$t4/$bin.json" "$th/$bin.json"
@@ -54,14 +54,21 @@ import json, sys
 d = json.load(open("BENCH_netsim.json"))
 required = ["name", "git", "scheduler", "threads", "quick", "trials",
             "wall_us", "events", "events_per_sec", "sched_pushes"]
-for name in ("headline", "baseline"):
+for name in ("headline", "baseline", "mitigation"):
     e = d.get(name)
     if e is None:
         sys.exit(f"BENCH_netsim.json: missing entry '{name}'")
     missing = [k for k in required if k not in e]
     if missing:
         sys.exit(f"BENCH_netsim.json[{name}]: missing keys {missing}")
-print("    headline + baseline entries carry all required keys")
+ctrl_keys = ["tt_detect_ns", "tt_mitigate_ns", "false_mitigations"]
+m = d["mitigation"]
+missing = [k for k in ctrl_keys if m.get(k) is None]
+if missing:
+    sys.exit(f"BENCH_netsim.json[mitigation]: closed-loop keys null/missing: {missing}")
+if m["false_mitigations"] != 0:
+    sys.exit(f"BENCH_netsim.json[mitigation]: {m['false_mitigations']} false mitigations")
+print("    headline + baseline + mitigation entries carry all required keys")
 EOF
 
 echo "==> perf smoke (warn-only): quick headline vs committed BENCH_netsim.json"
