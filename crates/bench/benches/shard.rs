@@ -1,0 +1,151 @@
+//! P3 — intra-trial sharding microbenchmarks.
+//!
+//! Two costs bound what fabric sharding can buy:
+//!
+//! * **cross-shard pipe throughput** — how fast boundary packets move
+//!   through the lock-free SPSC mailboxes the threaded backend uses, both
+//!   same-thread (the inline coordinator's upper bound) and across a real
+//!   thread pair;
+//! * **window-sync overhead** — a whole sharded ring trial at 1/2/4
+//!   shards on the inline backend. The conservative-lookahead horizon
+//!   (150 ns against a ≥ 20 µs topology gap) forces a barrier per window;
+//!   on a single core every extra shard is pure coordination cost, so this
+//!   group measures the overhead floor, not a speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fp_collectives::prelude::*;
+use fp_netsim::ids::HostId;
+use fp_netsim::packet::{Packet, PacketKind, Priority};
+use fp_netsim::prelude::*;
+use fp_netsim::shard::{spsc, RemotePkt};
+use fp_netsim::time::{SimDuration, SimTime};
+
+const PIPE_OPS: u64 = 100_000;
+
+fn remote_pkt(i: u64) -> RemotePkt {
+    RemotePkt {
+        at: SimTime::from_ns(i),
+        link: LinkId(7),
+        pkt: Packet {
+            kind: PacketKind::Data {
+                flow: i as u32,
+                seq: (i % 2048) as u32,
+            },
+            src: HostId(0),
+            dst: HostId(1),
+            size: 4096,
+            prio: Priority::MEASURED,
+            tag: None,
+            src_leaf: 0,
+            ingress: None,
+        },
+    }
+}
+
+/// Same-thread push/drain through the mailbox: the inline coordinator's
+/// cost per boundary packet, no cache-line ping-pong.
+fn pipe_inline(cap: usize) -> u64 {
+    let (tx, rx) = spsc::<RemotePkt>(cap);
+    let mut sum = 0u64;
+    let mut sent = 0u64;
+    while sent < PIPE_OPS {
+        while sent < PIPE_OPS && tx.send(remote_pkt(sent)) {
+            sent += 1;
+        }
+        while let Some(p) = rx.try_recv() {
+            sum = sum.wrapping_add(p.at.as_ns());
+        }
+    }
+    while let Some(p) = rx.try_recv() {
+        sum = sum.wrapping_add(p.at.as_ns());
+    }
+    sum
+}
+
+/// Producer thread → consumer thread through one mailbox: the threaded
+/// backend's real boundary-packet path.
+fn pipe_threaded(cap: usize) -> u64 {
+    let (tx, rx) = spsc::<RemotePkt>(cap);
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            for i in 0..PIPE_OPS {
+                while !tx.send(remote_pkt(i)) {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut sum = 0u64;
+        for _ in 0..PIPE_OPS {
+            loop {
+                if let Some(p) = rx.try_recv() {
+                    sum = sum.wrapping_add(p.at.as_ns());
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        sum
+    })
+}
+
+fn bench_pipe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard/pipe_throughput");
+    g.throughput(Throughput::Elements(PIPE_OPS));
+    g.sample_size(10);
+    for cap in [256usize, 4096] {
+        g.bench_with_input(BenchmarkId::new("inline", cap), &cap, |b, &cap| {
+            b.iter(|| pipe_inline(cap))
+        });
+        g.bench_with_input(BenchmarkId::new("threaded", cap), &cap, |b, &cap| {
+            b.iter(|| pipe_threaded(cap))
+        });
+    }
+    g.finish();
+}
+
+fn bench_window_sync(c: &mut Criterion) {
+    let topo = Topology::fat_tree(FatTreeSpec {
+        leaves: 8,
+        spines: 4,
+        hosts_per_leaf: 1,
+        ..Default::default()
+    });
+    let hosts: Vec<HostId> = (0..8).map(HostId).collect();
+    let sched = ring_allreduce(&hosts, 256 * 1024);
+    let rcfg = RunnerConfig {
+        iterations: 2,
+        jitter: JitterModel::Uniform {
+            max: SimDuration::from_us(1),
+        },
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("shard/ring_trial_8x4_256KiB");
+    g.sample_size(10);
+    for shards in [1u32, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    run_sharded(
+                        &topo,
+                        &SimConfig::default(),
+                        11,
+                        shards,
+                        false,
+                        sched.clone(),
+                        rcfg.clone(),
+                        &[],
+                        &[],
+                    )
+                    .stats
+                    .events
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipe, bench_window_sync);
+criterion_main!(benches);

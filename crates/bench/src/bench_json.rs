@@ -28,6 +28,12 @@ pub struct BenchEntry {
     pub scheduler: String,
     /// Worker threads the campaign ran with.
     pub threads: u64,
+    /// Intra-trial shard count the fabric ran with (1 = unsharded).
+    pub shards: u64,
+    /// Engine events dispatched per shard, summed across trials (empty
+    /// when unsharded). Sums to more than `events` because boundary
+    /// packets are counted once per side.
+    pub shard_events: Vec<u64>,
     /// Whether `FP_QUICK` reduced the sweep.
     pub quick: bool,
     /// Trial count.
@@ -89,7 +95,22 @@ pub fn record_bench(entry: &BenchEntry) -> std::io::Result<Option<PathBuf>> {
     let Some(path) = bench_json_path(entry.quick) else {
         return Ok(None);
     };
-    record_bench_at(&path, entry)?;
+    // A `-dirty` stamp caused only by regenerated artifacts (`results/`,
+    // `BENCH_*.json`) would mark every benchmark refresh as untrustworthy;
+    // drop the suffix when the dirt is exclusively such files.
+    let cleaned = entry
+        .git
+        .strip_suffix("-dirty")
+        .filter(|_| fp_telemetry::dirt_is_artifacts_only());
+    let entry = match cleaned {
+        Some(clean) => {
+            let mut e = entry.clone();
+            e.git = clean.to_string();
+            std::borrow::Cow::Owned(e)
+        }
+        None => std::borrow::Cow::Borrowed(entry),
+    };
+    record_bench_at(&path, &entry)?;
     Ok(Some(path))
 }
 
@@ -126,6 +147,8 @@ mod tests {
             git: "test".into(),
             scheduler: "wheel".into(),
             threads: 2,
+            shards: 1,
+            shard_events: Vec::new(),
             quick: false,
             trials: 3,
             wall_us: 1_000_000,
@@ -175,6 +198,8 @@ mod tests {
             "git",
             "scheduler",
             "threads",
+            "shards",
+            "shard_events",
             "quick",
             "trials",
             "wall_us",

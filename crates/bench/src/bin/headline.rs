@@ -73,6 +73,8 @@ fn main() {
         git: fp_telemetry::git_describe(),
         scheduler: r.sched_kind.name().into(),
         threads: 1,
+        shards: u64::from(r.shards),
+        shard_events: r.shard_events.clone(),
         quick: fp_bench::quick(),
         trials: 1,
         wall_us,
@@ -106,6 +108,8 @@ fn main() {
             git: fp_telemetry::git_describe(),
             scheduler: base.sched_kind.name().into(),
             threads: 1,
+            shards: u64::from(base.shards),
+            shard_events: base.shard_events.clone(),
             quick: false,
             trials: 1,
             wall_us: base_wall,
@@ -130,6 +134,7 @@ fn main() {
             wall_us,
             r.sched_kind,
             &r.sched,
+            u64::from(r.shards),
         )
         .write(dir)
         .expect("write manifest");

@@ -237,11 +237,14 @@ fn main() {
     let events_total: u64 = timings.iter().map(|t| t.events).sum();
     let results: Vec<TrialResult> = timed.into_iter().map(|(r, _)| r).collect();
     let (sched_kind, sched) = fp_bench::campaign::aggregate_sched(&results);
+    let (shards, shard_events) = fp_bench::campaign::aggregate_shards(&results);
     match fp_bench::record_bench(&fp_bench::BenchEntry {
         name: "mitigation".into(),
         git: fp_telemetry::git_describe(),
         scheduler: sched_kind.name().into(),
         threads: campaign.threads() as u64,
+        shards,
+        shard_events,
         quick: fp_bench::quick(),
         trials: cases.len() as u64,
         wall_us: wall_us_total,
@@ -266,6 +269,7 @@ fn main() {
             wall_us_total,
             sched_kind,
             &sched,
+            shards,
         );
         // Attach the controller sweep: which cells ran closed-loop, with
         // what knobs (Null stays the controller-less marker elsewhere).

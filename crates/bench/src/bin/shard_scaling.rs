@@ -1,0 +1,80 @@
+//! Intra-trial shard scaling: the headline trial at 1/2/4/8 shards.
+//!
+//! One `BENCH_netsim.json` entry per shard count (`"shards1"` …
+//! `"shards8"`) so the committed perf trajectory captures what fabric
+//! sharding costs or buys on the build host. The numbers are honest for
+//! the machine that produced them: on a single hardware thread the
+//! conservative-lookahead synchronization is pure overhead and every
+//! `shards > 1` row is *slower* than `shards1`; the speedup only
+//! materializes with cores to spread the shards over. `FP_SHARD_EXEC`
+//! picks the backend (threaded mailboxes by default, `inline` for the
+//! single-threaded coordinator), `FP_QUICK` shrinks the fabric.
+
+use flowpulse::prelude::*;
+use fp_bench::{header, pick};
+
+fn main() {
+    header("shard scaling — headline trial at 1/2/4/8 shards");
+    let base = TrialSpec {
+        leaves: pick(32, 8),
+        spines: pick(16, 4),
+        bytes_per_node: pick(64, 8) * 1024 * 1024,
+        iterations: 3,
+        fault: Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.015 },
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        }),
+        seed: 2025,
+        ..Default::default()
+    };
+    let backend = if fp_collectives::prelude::threaded_from_env() {
+        "threaded"
+    } else {
+        "inline"
+    };
+    let mut base_eps = None;
+    for shards in [1u32, 2, 4, 8] {
+        let mut spec = base.clone();
+        spec.shards = Some(shards);
+        let t0 = std::time::Instant::now();
+        let r = run_trial(&spec);
+        let wall_us = (t0.elapsed().as_micros() as u64).max(1);
+        let eps = r.stats.events as f64 * 1e6 / wall_us as f64;
+        let speedup = match base_eps {
+            None => {
+                base_eps = Some(eps);
+                1.0
+            }
+            Some(b) => eps / b,
+        };
+        println!(
+            "shards={shards} ({backend}) wall_us={wall_us} events={} \
+             ev_per_sec={eps:.0} speedup_vs_1={speedup:.2}x detected={} \
+             shard_events={:?}",
+            r.stats.events, r.detected, r.shard_events
+        );
+        match fp_bench::record_bench(&fp_bench::BenchEntry {
+            name: format!("shards{shards}"),
+            git: fp_telemetry::git_describe(),
+            scheduler: r.sched_kind.name().into(),
+            threads: 1,
+            shards: u64::from(r.shards),
+            shard_events: r.shard_events.clone(),
+            quick: fp_bench::quick(),
+            trials: 1,
+            wall_us,
+            events: r.stats.events,
+            events_per_sec: eps,
+            sched_pushes: r.sched.pushes,
+            tt_detect_ns: None,
+            tt_mitigate_ns: None,
+            false_mitigations: None,
+        }) {
+            Ok(Some(p)) => println!("[bench {}]", p.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: cannot update bench json: {e}"),
+        }
+    }
+}

@@ -122,12 +122,15 @@ impl Campaign {
             );
         }
         let (sched_kind, sched) = aggregate_sched(&results);
+        let (shards, shard_events) = aggregate_shards(&results);
         let events_total: u64 = timings.iter().map(|t| t.events).sum();
         match crate::record_bench(&crate::BenchEntry {
             name: name.to_string(),
             git: fp_telemetry::git_describe(),
             scheduler: sched_kind.name().to_string(),
             threads: self.threads as u64,
+            shards,
+            shard_events,
             quick: crate::quick(),
             trials: specs.len() as u64,
             wall_us: wall_us_total,
@@ -151,6 +154,7 @@ impl Campaign {
                 wall_us_total,
                 sched_kind,
                 &sched,
+                shards,
             );
             let mdir = dir.join(name);
             match m.write(&mdir) {
@@ -176,6 +180,24 @@ pub fn aggregate_sched(results: &[TrialResult]) -> (SchedKind, SchedStats) {
     (kind, agg)
 }
 
+/// Aggregate intra-trial shard accounting over a campaign's results: the
+/// shard count from the first trial (campaigns don't mix shard counts
+/// within a sweep) and the element-wise sum of per-shard event counts
+/// across trials (empty when the campaign ran unsharded).
+pub fn aggregate_shards(results: &[TrialResult]) -> (u64, Vec<u64>) {
+    let shards = results.first().map(|r| u64::from(r.shards)).unwrap_or(1);
+    let mut agg: Vec<u64> = Vec::new();
+    for r in results {
+        if agg.len() < r.shard_events.len() {
+            agg.resize(r.shard_events.len(), 0);
+        }
+        for (slot, &e) in agg.iter_mut().zip(r.shard_events.iter()) {
+            *slot += e;
+        }
+    }
+    (shards, agg)
+}
+
 /// Build the self-describing [`fp_telemetry::Manifest`] for one campaign.
 #[allow(clippy::too_many_arguments)]
 pub fn campaign_manifest(
@@ -186,6 +208,7 @@ pub fn campaign_manifest(
     wall_us_total: u64,
     sched_kind: SchedKind,
     sched: &SchedStats,
+    shards: u64,
 ) -> fp_telemetry::Manifest {
     let events_total: u64 = timings.iter().map(|t| t.events).sum();
     fp_telemetry::Manifest {
@@ -203,6 +226,7 @@ pub fn campaign_manifest(
             events_total as f64 * 1e6 / wall_us_total as f64
         },
         scheduler: sched_kind.name().to_string(),
+        shards,
         sched: sched.to_value(),
         specs: specs.to_value(),
         ctrl: serde::Value::Null,
@@ -430,6 +454,7 @@ mod tests {
             1_000_000,
             SchedKind::Wheel,
             &stats,
+            1,
         );
         assert_eq!(m.trials, 2);
         assert_eq!(m.seeds, vec![7, 8]);

@@ -156,6 +156,71 @@ fn heap_and_wheel_schedulers_are_byte_identical() {
 }
 
 #[test]
+fn shard_counts_are_byte_identical() {
+    // FP_SHARDS rows: the same sweep partitioned into 1/2/4 intra-trial
+    // shards, per scheduler backend. `shards = Some(1)` exercises the
+    // unsharded path (the eligibility gate requires >= 2), so the 1-row
+    // doubles as the guarantee that requesting sharding without enough
+    // shards changes nothing. At this scale the sharded fabric is free of
+    // same-instant cross-boundary ties in anything a fig row reads, so
+    // every serialized row must match byte for byte. The raw spot-checks
+    // below additionally pin the engine's conservation accounting; the one
+    // residual sharding is allowed is a span *end* moving by a single
+    // serialization quantum when a tail arrival ties across a boundary
+    // (see `crates/collectives/tests/shard_lockstep.rs`), so per-iteration
+    // goodput is held to that tolerance instead of exact bytes.
+    use fp_netsim::engine::SchedKind;
+    for kind in [SchedKind::Heap, SchedKind::Wheel] {
+        let specs_at = |shards: u32| -> Vec<TrialSpec> {
+            sweep()
+                .into_iter()
+                .map(|mut s| {
+                    s.shards = Some(shards);
+                    s.sim.sched = Some(kind);
+                    s
+                })
+                .collect()
+        };
+        let base_specs = specs_at(1);
+        let base = Campaign::with_threads(1).run(&base_specs);
+        assert!(base
+            .iter()
+            .all(|r| r.shards == 1 && r.shard_events.is_empty()));
+        for shards in [2u32, 4] {
+            let specs = specs_at(shards);
+            let got = Campaign::with_threads(2).run(&specs);
+            let ctx = format!("shards={shards}, sched={kind:?}");
+            for r in &got {
+                assert_eq!(r.shards, shards, "sharded path not taken ({ctx})");
+                assert_eq!(r.shard_events.len(), shards as usize, "{ctx}");
+            }
+            assert_eq!(
+                serialize_rows(&base_specs, &base),
+                serialize_rows(&specs, &got),
+                "FP_SHARDS must not change output bytes ({ctx})"
+            );
+            for (a, b) in base.iter().zip(&got) {
+                assert_eq!(a.iter_max_dev, b.iter_max_dev, "{ctx}");
+                assert_eq!(a.fault_port, b.fault_port, "{ctx}");
+                assert_eq!(a.alarms, b.alarms, "{ctx}");
+                assert_eq!(a.stats.events, b.stats.events, "{ctx}");
+                assert_eq!(a.stats.pkts_txed, b.stats.pkts_txed, "{ctx}");
+                assert_eq!(a.stats.retransmits, b.stats.retransmits, "{ctx}");
+                assert_eq!(a.stats.silent_drops(), b.stats.silent_drops(), "{ctx}");
+                assert_eq!(a.iter_goodput.len(), b.iter_goodput.len(), "{ctx}");
+                for (&(ia, ga), &(ib, gb)) in a.iter_goodput.iter().zip(&b.iter_goodput) {
+                    assert_eq!(ia, ib, "{ctx}");
+                    assert!(
+                        (ga - gb).abs() <= 1e-3 * ga.abs(),
+                        "goodput drifted beyond a quantum: {ga} vs {gb} ({ctx})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn controller_campaign_is_byte_identical_across_thread_counts() {
     // Closed-loop trials carry extra state (an online monitor, scheduled
     // control events); the worker-pool contract must hold for them too.

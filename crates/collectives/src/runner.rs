@@ -37,7 +37,8 @@ pub enum MeasuredSubset {
 }
 
 impl MeasuredSubset {
-    fn contains(&self, t: u32) -> bool {
+    /// True when transfer index `t` is measured (tagged + prioritized).
+    pub fn contains(&self, t: u32) -> bool {
         match self {
             MeasuredSubset::All => true,
             MeasuredSubset::Transfers(v) => v.contains(&t),

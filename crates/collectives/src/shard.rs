@@ -1,0 +1,966 @@
+//! Intra-trial parallel execution: one collective trial sharded across
+//! per-pod/per-leaf fabric partitions, advanced in conservative lockstep.
+//!
+//! `fp-netsim`'s [`fp_netsim::shard`] module provides the partition
+//! ([`ShardPlan`]), the cross-shard record types and the SPSC mailboxes;
+//! this module provides the piece that must live next to the workload: a
+//! coordinator that replicates [`crate::runner::CollectiveRunner`]
+//! draw-for-draw while each shard runs its own [`Simulator`] over the
+//! owned slice of the fabric.
+//!
+//! ## Window protocol
+//!
+//! Every round the coordinator computes the conservative horizon
+//! `W = min over shards of next-event-time + L`, where `L` is the minimum
+//! propagation latency of any cross-shard link ([`ShardPlan::lookahead`]).
+//! Each shard then runs all events strictly below `W`: any packet a
+//! neighbour emits during the round finishes serialization at `t ≥
+//! min-next` and arrives at `t + latency ≥ W`, so it cannot be missed.
+//! At the barrier the coordinator drains every shard's
+//! [`fp_netsim::shard::ShardOutbox`], routes each record to the shard
+//! owning its receiving node, and injects it (arrival-time-stamped)
+//! before the next round.
+//!
+//! ## Why the result is byte-identical to an unsharded run
+//!
+//! * Every link, switch, host and flow endpoint has exactly one owning
+//!   shard, so every counter/statistic has a single writer and merging is
+//!   exact ([`Stats::merge`], [`CounterStore::merge_from`]).
+//! * The eligible spray policies (`Adaptive`, `LeastLoaded`, `RoundRobin`)
+//!   never consume randomness, and the fault stream is drawn only at the
+//!   faulted link's owning shard in per-link FIFO order — the same order
+//!   an unsharded run draws it in.
+//! * Iteration jitter is drawn by the coordinator from the same seeded
+//!   stream, one [`crate::jitter::JitterModel::sample`] call per
+//!   iteration, exactly like the runner.
+//! * Mid-run fault flips land at the precise instant the unsharded
+//!   iteration-start hook fires (the previous iteration's last completion)
+//!   via the armed-window protocol below.
+//!
+//! ## Armed windows (exact fault-install timing)
+//!
+//! The harness installs/heals silent faults at iteration boundaries: the
+//! unsharded hook runs synchronously inside the completion dispatch of the
+//! iteration's last transfer. Sharded, that completion happens at the
+//! shard owning the completing transfer's destination, while the fault
+//! must flip at the shard owning the faulted link (`S_f`). While a
+//! boundary with scheduled flips is imminent, rounds run `S_f` *last*:
+//!
+//! * if transfers completing at other shards remain unfinished after their
+//!   windows, the iteration cannot end this round — `S_f` runs a plain
+//!   window;
+//! * if every remaining transfer already completed at the other shards,
+//!   the boundary time `t_end` is known exactly — `S_f` schedules the flip
+//!   at `t_end` and runs its window across it;
+//! * if the only remaining transfers complete at `S_f` itself, `S_f` is
+//!   armed with a countdown: its in-shard application applies the flip the
+//!   moment the last one completes.
+
+use crate::runner::{MeasuredSubset, RunnerConfig};
+use crate::schedule::{Schedule, Transfer};
+use fp_netsim::app::Application;
+use fp_netsim::config::SimConfig;
+use fp_netsim::counters::CounterStore;
+use fp_netsim::engine::{SchedKind, SchedStats};
+use fp_netsim::fault::{FaultAction, FaultEvent, FaultKind};
+use fp_netsim::ids::{HostId, LinkId, NodeId};
+use fp_netsim::packet::{CollectiveTag, FlowId, Priority};
+use fp_netsim::shard::{
+    spsc, RemoteOpen, RemotePfc, RemotePkt, ShardPlan, SpscReceiver, SpscSender,
+};
+use fp_netsim::sim::{IterSpanRecord, Simulator};
+use fp_netsim::stats::Stats;
+use fp_netsim::time::SimTime;
+use fp_netsim::topology::Topology;
+use fp_netsim::trace::TraceRecord;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One scheduled fault flip: apply `action` to `link` at the start of
+/// iteration `at_iter` (the instant iteration `at_iter − 1` completes, or
+/// `t = 0` for `at_iter = 0`) — the iteration-start-hook contract of the
+/// evaluation harness.
+#[derive(Clone, Debug)]
+pub struct ShardFault {
+    /// Target directed link (its transmitting node's shard applies it).
+    pub link: LinkId,
+    /// Install or clear.
+    pub action: FaultAction,
+    /// Iteration at whose start the flip lands.
+    pub at_iter: u32,
+}
+
+/// Everything a sharded run produced, merged across shards. Field for
+/// field this matches what the harness reads off an unsharded
+/// [`Simulator`] after a run.
+#[derive(Clone, Debug)]
+pub struct ShardedOutcome {
+    /// Merged transport/fabric statistics. `events` excludes the
+    /// coordination-artifact fault-update events, so it equals an
+    /// unsharded run's total exactly.
+    pub stats: Stats,
+    /// Merged leaf-ingress counters.
+    pub counters: CounterStore,
+    /// Merged agg-uplink counters (3-level fabrics).
+    pub agg_counters: CounterStore,
+    /// Iteration spans of the measured job, coordinator-recorded.
+    pub iter_spans: Vec<IterSpanRecord>,
+    /// Trace records from all shards, merged in timestamp order.
+    pub trace: Vec<TraceRecord>,
+    /// Total records offered to the per-shard trace rings.
+    pub trace_offered: u64,
+    /// Whether any shard's trace ring evicted records.
+    pub trace_truncated: bool,
+    /// Scheduler backend the shards ran (identical across shards).
+    pub sched_kind: SchedKind,
+    /// Merged scheduler occupancy counters.
+    pub sched: SchedStats,
+    /// Raw engine events per shard (before artifact adjustment) — the
+    /// load-balance signal exported to campaign manifests.
+    pub shard_events: Vec<u64>,
+    /// Simulated time the first `FaultAction::Set` flip landed.
+    pub install_ns: Option<u64>,
+    /// Horizon-sync rounds the run took (perf telemetry).
+    pub rounds: u64,
+}
+
+/// A fault flip armed inside `S_f`'s application: applied once
+/// `remaining` further completions land, at `max(floor, now)`.
+#[derive(Clone, Debug)]
+struct PendingArm {
+    remaining: u32,
+    floor: SimTime,
+    actions: Vec<(LinkId, FaultAction)>,
+}
+
+/// State shared between a shard's in-simulator application and its command
+/// executor (single-threaded within the shard: `Rc<RefCell>`).
+#[derive(Default)]
+struct ShardShared {
+    iter: u32,
+    completions: Vec<(SimTime, u32)>,
+    pending: Option<PendingArm>,
+    /// Scheduler events this shard created purely to coordinate (fault
+    /// updates standing in for the unsharded synchronous hook); subtracted
+    /// from the merged event total.
+    artifact_events: u64,
+    install_ns: Option<u64>,
+}
+
+/// Apply fault flips at exactly `at`: synchronously when the shard clock
+/// already reached `at`, else via a scheduled fault update that dispatches
+/// at `at` inside the current window.
+fn apply_flips(
+    sim: &mut Simulator,
+    shared: &mut ShardShared,
+    actions: &[(LinkId, FaultAction)],
+    at: SimTime,
+) {
+    for &(link, action) in actions {
+        let effective = at.max(sim.now());
+        if effective <= sim.now() {
+            sim.apply_fault_now(link, action, false);
+        } else {
+            sim.schedule_fault(FaultEvent {
+                at: effective,
+                link,
+                bidirectional: false,
+                action,
+            });
+            shared.artifact_events += 1;
+        }
+        if shared.install_ns.is_none() && matches!(action, FaultAction::Set(_)) {
+            shared.install_ns = Some(effective.as_ns());
+        }
+    }
+}
+
+/// The per-shard workload application: the completion-driven half of
+/// [`crate::runner::CollectiveRunner`]. Iteration bookkeeping (outstanding
+/// counts, spans, jitter, next-iteration wakes) lives in the coordinator;
+/// this half posts transfers and their dependents and reports completions.
+struct ShardApp {
+    shared: Rc<RefCell<ShardShared>>,
+    job: u32,
+    tag: bool,
+    prio: Priority,
+    measured: MeasuredSubset,
+    transfers: Vec<Transfer>,
+    children: Vec<Vec<u32>>,
+    scratch: Vec<u32>,
+}
+
+impl ShardApp {
+    fn token(&self, t: u32) -> u64 {
+        (self.job as u64) << 32 | t as u64
+    }
+
+    fn post(&mut self, sim: &mut Simulator, t: u32) {
+        let tr = self.transfers[t as usize];
+        let measured = self.measured.contains(t);
+        let tag = (self.tag && measured).then_some(CollectiveTag {
+            job: self.job,
+            iter: self.shared.borrow().iter,
+        });
+        let prio = if measured {
+            self.prio
+        } else {
+            Priority::BACKGROUND
+        };
+        sim.post_message_tok(tr.src, tr.dst, tr.bytes, tag, prio, self.token(t));
+    }
+}
+
+impl Application for ShardApp {
+    fn on_wake(&mut self, sim: &mut Simulator, _host: HostId, token: u64) {
+        if token >> 32 == self.job as u64 {
+            self.post(sim, (token & 0xffff_ffff) as u32);
+        }
+    }
+
+    fn on_message_complete(&mut self, sim: &mut Simulator, flow: FlowId) {
+        let token = sim.flows[flow as usize].app_token;
+        if token == u64::MAX || token >> 32 != self.job as u64 {
+            return;
+        }
+        let t = (token & 0xffff_ffff) as u32;
+        // Dependents post at the completing shard (the schedule guarantees
+        // a dependent's source is its dependency's destination).
+        let mut unblocked = std::mem::take(&mut self.scratch);
+        unblocked.clear();
+        unblocked.extend_from_slice(&self.children[t as usize]);
+        for &c in &unblocked {
+            self.post(sim, c);
+        }
+        self.scratch = unblocked;
+        let now = sim.now();
+        let fire = {
+            let mut sh = self.shared.borrow_mut();
+            sh.completions.push((now, t));
+            match sh.pending.as_mut() {
+                Some(p) => {
+                    p.remaining -= 1;
+                    if p.remaining == 0 {
+                        sh.pending.take()
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            }
+        };
+        if let Some(p) = fire {
+            let mut sh = self.shared.borrow_mut();
+            apply_flips(sim, &mut sh, &p.actions, p.floor.max(now));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Commands and responses (identical for the inline and threaded backends)
+// ---------------------------------------------------------------------
+
+/// An armed completion-countdown flip: how many in-shard completions
+/// remain before the boundary, the earliest instant the flip may land,
+/// and the fault actions to apply when it does.
+type ArmedFlip = (u32, SimTime, Vec<(LinkId, FaultAction)>);
+
+/// One coordinator→shard command. All payloads are `Send` so the same
+/// protocol drives in-process execution and worker threads.
+enum Cmd {
+    /// Schedule application wakes (root transfers of an iteration).
+    Wakes(Vec<(SimTime, HostId, u64)>),
+    /// Set the iteration number stamped into collective tags.
+    SetIter(u32),
+    /// Inject boundary-crossing records collected at the last barrier.
+    Inject {
+        opens: Vec<RemoteOpen>,
+        pkts: Vec<RemotePkt>,
+        pfcs: Vec<RemotePfc>,
+    },
+    /// Arm (or overwrite, or clear) the completion-countdown fault flip.
+    Arm(Option<ArmedFlip>),
+    /// Apply fault flips at exactly the given time.
+    Install(Vec<(LinkId, FaultAction)>, SimTime),
+    /// Run all events strictly below the horizon; reply with a window
+    /// response.
+    Window(SimTime),
+    /// Tear down and reply with the shard's final artifacts.
+    Finish,
+}
+
+/// Per-window barrier data returned by every shard.
+struct WindowResp {
+    next: Option<SimTime>,
+    opens: Vec<RemoteOpen>,
+    pkts: Vec<RemotePkt>,
+    pfcs: Vec<RemotePfc>,
+    completions: Vec<(SimTime, u32)>,
+    /// Cumulative engine events (including coordination artifacts).
+    events: u64,
+    install_ns: Option<u64>,
+}
+
+/// Final artifacts returned by every shard.
+struct FinishResp {
+    stats: Stats,
+    counters: CounterStore,
+    agg_counters: CounterStore,
+    trace: Vec<TraceRecord>,
+    trace_offered: u64,
+    trace_truncated: bool,
+    sched_kind: SchedKind,
+    sched: SchedStats,
+    artifact_events: u64,
+    install_ns: Option<u64>,
+}
+
+enum Resp {
+    Window(Box<WindowResp>),
+    Finish(Box<FinishResp>),
+}
+
+/// Everything needed to build one shard's executor — plain `Send` data,
+/// so the threaded backend can move it into a worker (a [`Simulator`]
+/// itself is not `Send`).
+struct ShardSeed {
+    topo: Topology,
+    cfg: SimConfig,
+    seed: u64,
+    shard: u32,
+    plan: ShardPlan,
+    admin_down: Vec<LinkId>,
+    job: u32,
+    tag: bool,
+    prio: Priority,
+    measured: MeasuredSubset,
+    transfers: Vec<Transfer>,
+    children: Vec<Vec<u32>>,
+}
+
+/// One shard's simulator plus its command loop, shared verbatim between
+/// the inline and threaded backends.
+struct ShardExec {
+    sim: Simulator,
+    shared: Rc<RefCell<ShardShared>>,
+}
+
+impl ShardExec {
+    fn build(seed: ShardSeed) -> ShardExec {
+        // Known (admin-down) faults are routing state: every shard's view
+        // of the fabric must exclude them from spray candidate sets, so
+        // they are applied on all shards — but only the link owner's shard
+        // records the trace event, or the merged trace would carry one
+        // duplicate per shard.
+        let owned: Vec<bool> = seed
+            .admin_down
+            .iter()
+            .map(|&l| seed.plan.link_owner(&seed.topo, l) == seed.shard)
+            .collect();
+        let mut sim = Simulator::new(seed.topo, seed.cfg, seed.seed);
+        sim.attach_shard(seed.shard, seed.plan);
+        for (&l, &own) in seed.admin_down.iter().zip(owned.iter()) {
+            if own {
+                sim.apply_fault_now(l, FaultAction::Set(FaultKind::AdminDown), false);
+            } else {
+                sim.apply_fault_untraced(l, FaultAction::Set(FaultKind::AdminDown), false);
+            }
+        }
+        let shared: Rc<RefCell<ShardShared>> = Rc::new(RefCell::new(ShardShared::default()));
+        sim.set_app(Box::new(ShardApp {
+            shared: shared.clone(),
+            job: seed.job,
+            tag: seed.tag,
+            prio: seed.prio,
+            measured: seed.measured,
+            transfers: seed.transfers,
+            children: seed.children,
+            scratch: Vec::new(),
+        }));
+        ShardExec { sim, shared }
+    }
+
+    fn exec(&mut self, cmd: Cmd) -> Option<Resp> {
+        match cmd {
+            Cmd::Wakes(wakes) => {
+                for (at, host, token) in wakes {
+                    self.sim.schedule_wake(at, host, token);
+                }
+                None
+            }
+            Cmd::SetIter(i) => {
+                self.shared.borrow_mut().iter = i;
+                None
+            }
+            Cmd::Inject { opens, pkts, pfcs } => {
+                for o in &opens {
+                    self.sim.shard_open_flow(o);
+                }
+                for p in pkts {
+                    self.sim.shard_inject_pkt(p.at, p.link, p.pkt);
+                }
+                for p in pfcs {
+                    self.sim.shard_inject_pfc(p.at, p.link, p.prio, p.pause);
+                }
+                None
+            }
+            Cmd::Arm(arm) => {
+                self.shared.borrow_mut().pending =
+                    arm.map(|(remaining, floor, actions)| PendingArm {
+                        remaining,
+                        floor,
+                        actions,
+                    });
+                None
+            }
+            Cmd::Install(actions, at) => {
+                let mut sh = self.shared.borrow_mut();
+                apply_flips(&mut self.sim, &mut sh, &actions, at);
+                None
+            }
+            Cmd::Window(end) => {
+                self.sim.run_window(end);
+                let outbox = self.sim.shard_take_outbox();
+                let mut sh = self.shared.borrow_mut();
+                Some(Resp::Window(Box::new(WindowResp {
+                    next: self.sim.next_event_time(),
+                    opens: outbox.opens,
+                    pkts: outbox.pkts,
+                    pfcs: outbox.pfcs,
+                    completions: std::mem::take(&mut sh.completions),
+                    events: self.sim.stats.events,
+                    install_ns: sh.install_ns,
+                })))
+            }
+            Cmd::Finish => {
+                let sh = self.shared.borrow();
+                Some(Resp::Finish(Box::new(FinishResp {
+                    stats: self.sim.stats.clone(),
+                    counters: self.sim.counters.clone(),
+                    agg_counters: self.sim.agg_counters.clone(),
+                    trace: self.sim.trace.to_records(),
+                    trace_offered: self.sim.trace.offered,
+                    trace_truncated: self.sim.trace.truncated(),
+                    sched_kind: self.sim.sched_kind(),
+                    sched: self.sim.sched_stats(),
+                    artifact_events: sh.artifact_events,
+                    install_ns: sh.install_ns,
+                })))
+            }
+        }
+    }
+}
+
+/// A shard handle: inline (commands execute on the calling thread) or
+/// threaded (commands stream over an SPSC mailbox to a worker that owns
+/// the simulator). Both run the identical [`ShardExec`] loop, so results
+/// cannot depend on the backend.
+enum ShardHandle {
+    Inline(Box<ShardExec>, Option<Resp>),
+    Thread {
+        tx: SpscSender<Cmd>,
+        rx: SpscReceiver<Resp>,
+        join: Option<std::thread::JoinHandle<()>>,
+    },
+}
+
+impl ShardHandle {
+    fn inline(seed: ShardSeed) -> ShardHandle {
+        ShardHandle::Inline(Box::new(ShardExec::build(seed)), None)
+    }
+
+    fn threaded(seed: ShardSeed) -> ShardHandle {
+        let (cmd_tx, cmd_rx) = spsc::<Cmd>(64);
+        let (resp_tx, resp_rx) = spsc::<Resp>(64);
+        let shard = seed.shard;
+        let join = std::thread::Builder::new()
+            .name(format!("fp-shard-{shard}"))
+            .spawn(move || {
+                let mut exec = ShardExec::build(seed);
+                while let Some(cmd) = cmd_rx.recv() {
+                    let done = matches!(cmd, Cmd::Finish);
+                    if let Some(resp) = exec.exec(cmd) {
+                        if !resp_tx.send(resp) {
+                            break;
+                        }
+                    }
+                    if done {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn shard worker");
+        ShardHandle::Thread {
+            tx: cmd_tx,
+            rx: resp_rx,
+            join: Some(join),
+        }
+    }
+
+    fn send(&mut self, cmd: Cmd) {
+        match self {
+            ShardHandle::Inline(exec, slot) => {
+                if let Some(resp) = exec.exec(cmd) {
+                    debug_assert!(slot.is_none(), "unconsumed shard response");
+                    *slot = Some(resp);
+                }
+            }
+            ShardHandle::Thread { tx, .. } => {
+                assert!(tx.send(cmd), "shard worker died");
+            }
+        }
+    }
+
+    fn recv(&mut self) -> Resp {
+        match self {
+            ShardHandle::Inline(_, slot) => slot.take().expect("no pending shard response"),
+            ShardHandle::Thread { rx, .. } => rx.recv().expect("shard worker hung up"),
+        }
+    }
+
+    fn window(&mut self) -> Box<WindowResp> {
+        match self.recv() {
+            Resp::Window(w) => w,
+            Resp::Finish(_) => unreachable!("expected window response"),
+        }
+    }
+
+    /// Consume the `Finish` response; the threaded backend joins its
+    /// worker so panics surface here instead of being silently dropped.
+    fn finish(&mut self) -> Box<FinishResp> {
+        let resp = match self.recv() {
+            Resp::Finish(f) => f,
+            Resp::Window(_) => unreachable!("expected finish response"),
+        };
+        if let ShardHandle::Thread { join, .. } = self {
+            if let Some(j) = join.take() {
+                j.join().expect("shard worker panicked");
+            }
+        }
+        resp
+    }
+}
+
+// ---------------------------------------------------------------------
+// The coordinator
+// ---------------------------------------------------------------------
+
+/// Run `sched` for `rcfg.iterations` iterations over `topo` split into
+/// `shards` shards, reproducing an unsharded
+/// [`crate::runner::CollectiveRunner`] trial byte for byte. `threaded`
+/// selects worker threads (one per shard) versus inline round-robin
+/// execution; both produce identical results.
+///
+/// `admin_down` lists known-fault links applied to every shard's routing
+/// at `t = 0`; `faults` schedules silent-fault flips at iteration
+/// boundaries. All flips must target links owned by one shard (the
+/// caller's eligibility gate guarantees this by rejecting bidirectional
+/// faults).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded(
+    topo: &Topology,
+    cfg: &SimConfig,
+    seed: u64,
+    shards: u32,
+    threaded: bool,
+    sched: Schedule,
+    rcfg: RunnerConfig,
+    admin_down: &[LinkId],
+    faults: &[ShardFault],
+) -> ShardedOutcome {
+    sched.validate().expect("invalid schedule");
+    assert!(rcfg.iterations > 0, "at least one iteration");
+    let plan = ShardPlan::new(topo, shards);
+    let n = plan.n_shards;
+    let lookahead = plan.lookahead;
+    // A window never spans from one iteration's end into the next one's
+    // first wake: wakes sit a compute gap after the boundary, and every
+    // window is exactly one lookahead deep.
+    assert!(
+        rcfg.compute_gap > lookahead,
+        "compute gap must exceed the sync lookahead"
+    );
+
+    // The faulted-link owner: the shard whose window placement must track
+    // iteration boundaries. All scheduled flips must share one owner.
+    let fault_owner: Option<u32> = {
+        let mut owners = faults.iter().map(|f| plan.link_owner(topo, f.link));
+        let first = owners.next();
+        if let Some(o) = first {
+            assert!(
+                owners.all(|x| x == o),
+                "scheduled fault flips span multiple shard owners"
+            );
+        }
+        first
+    };
+
+    // Replicated runner state.
+    let children = sched.children();
+    let roots = sched.roots();
+    let node_of: HashMap<HostId, usize> = sched
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| (h, i))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(rcfg.jitter_seed);
+    let n_transfers = sched.transfers.len() as u32;
+    // Completion shard of each transfer: where its receiving host lives.
+    let comp_shard: Vec<u32> = sched
+        .transfers
+        .iter()
+        .map(|t| plan.owner(NodeId::Host(t.dst)))
+        .collect();
+
+    let mut handles: Vec<ShardHandle> = (0..n)
+        .map(|s| {
+            let seed_data = ShardSeed {
+                topo: topo.clone(),
+                cfg: cfg.clone(),
+                seed,
+                shard: s,
+                plan: plan.clone(),
+                admin_down: admin_down.to_vec(),
+                job: rcfg.job,
+                tag: rcfg.tag,
+                prio: rcfg.prio,
+                measured: rcfg.measured.clone(),
+                transfers: sched.transfers.clone(),
+                children: children.clone(),
+            };
+            if threaded {
+                ShardHandle::threaded(seed_data)
+            } else {
+                ShardHandle::inline(seed_data)
+            }
+        })
+        .collect();
+
+    // Fault flips are consumed in schedule order with the harness hook's
+    // once-only semantics: a flip fires at the first boundary `i` with
+    // `i >= at_iter`, then never again.
+    let mut fired = vec![false; faults.len()];
+    // Flips due at the start of iteration `i`, in schedule order, marking
+    // them fired.
+    let take_flips = |i: u32, fired: &mut [bool]| -> Vec<(LinkId, FaultAction)> {
+        faults
+            .iter()
+            .zip(fired.iter_mut())
+            .filter(|(f, fr)| !**fr && i >= f.at_iter)
+            .map(|(f, fr)| {
+                *fr = true;
+                (f.link, f.action)
+            })
+            .collect()
+    };
+    // The same set, without marking (armed-round planning).
+    let peek_flips = |i: u32, fired: &[bool]| -> Vec<(LinkId, FaultAction)> {
+        faults
+            .iter()
+            .zip(fired.iter())
+            .filter(|(f, fr)| !**fr && i >= f.at_iter)
+            .map(|(f, _)| (f.link, f.action))
+            .collect()
+    };
+
+    // Iteration bookkeeping (the runner's, replicated).
+    let mut iter: u32 = 0;
+    let mut done = vec![false; n_transfers as usize];
+    let mut outstanding = n_transfers;
+    let mut iter_max_completion = SimTime::ZERO;
+    let mut iter_started: Vec<SimTime> = Vec::new();
+    let mut iter_spans: Vec<IterSpanRecord> = Vec::new();
+    let gap = rcfg.compute_gap;
+
+    // Effective next-event time per shard: the shard's own report folded
+    // with everything the coordinator injected since.
+    let mut nexts: Vec<Option<SimTime>> = vec![Some(SimTime::ZERO); n as usize];
+    let fold_next = |slot: &mut Option<SimTime>, t: SimTime| {
+        *slot = Some(slot.map_or(t, |cur| cur.min(t)));
+    };
+
+    // Start an iteration: one jitter sample, root wakes at the iteration
+    // base plus the transfer source's delay — the runner's exact draw
+    // order and arithmetic.
+    let begin_iteration = |iter: u32,
+                           base: SimTime,
+                           rng: &mut SmallRng,
+                           iter_started: &mut Vec<SimTime>,
+                           handles: &mut [ShardHandle],
+                           nexts: &mut [Option<SimTime>]| {
+        iter_started.push(base);
+        let delays = rcfg.jitter.sample(sched.nodes.len(), rng);
+        let mut wakes: Vec<Vec<(SimTime, HostId, u64)>> = vec![Vec::new(); n as usize];
+        for &r in &roots {
+            let src = sched.transfers[r as usize].src;
+            let at = base + delays[node_of[&src]];
+            let token = (rcfg.job as u64) << 32 | r as u64;
+            let owner = plan.owner(NodeId::Host(src)) as usize;
+            wakes[owner].push((at, src, token));
+            fold_next(&mut nexts[owner], at);
+        }
+        for (s, w) in wakes.into_iter().enumerate() {
+            handles[s].send(Cmd::SetIter(iter));
+            if !w.is_empty() {
+                handles[s].send(Cmd::Wakes(w));
+            }
+        }
+    };
+
+    // Iteration 0 starts at t = 0; flips with `at_iter = 0` land before
+    // any event, exactly like the unsharded start hook.
+    let t0_flips = take_flips(0, &mut fired);
+    if !t0_flips.is_empty() {
+        let owner = fault_owner.expect("flips imply an owner") as usize;
+        handles[owner].send(Cmd::Install(t0_flips, SimTime::ZERO));
+    }
+    begin_iteration(
+        0,
+        SimTime::ZERO,
+        &mut rng,
+        &mut iter_started,
+        &mut handles,
+        &mut nexts,
+    );
+
+    let max_events = cfg.max_events;
+    let mut total_events: u64 = 0;
+    let mut install_ns: Option<u64> = None;
+    let mut rounds: u64 = 0;
+
+    // The conservative-lockstep round loop; exits when fully drained.
+    while let Some(min_next) = nexts.iter().flatten().min().copied() {
+        if total_events >= max_events {
+            break; // safety stop, mirroring the unsharded engine's guard
+        }
+        rounds += 1;
+        let w = min_next + lookahead;
+
+        // Flips that would land if the current iteration ends inside this
+        // round (the next boundary is the start of iteration `iter + 1`).
+        let boundary_flips = if iter + 1 < rcfg.iterations {
+            peek_flips(iter + 1, &fired)
+        } else {
+            Vec::new()
+        };
+
+        let mut resps: Vec<Option<Box<WindowResp>>> = (0..n as usize).map(|_| None).collect();
+
+        if boundary_flips.is_empty() {
+            for h in handles.iter_mut() {
+                h.send(Cmd::Window(w));
+            }
+            for (s, h) in handles.iter_mut().enumerate() {
+                resps[s] = Some(h.window());
+            }
+        } else {
+            // Armed round: run the fault owner's window last, after the
+            // boundary time has been pinned down by every other shard.
+            let sf = fault_owner.expect("boundary flips imply an owner") as usize;
+            for (s, h) in handles.iter_mut().enumerate() {
+                if s != sf {
+                    h.send(Cmd::Window(w));
+                }
+            }
+            let mut m_at_sf = 0u32;
+            let mut rem_elsewhere = 0u32;
+            for t in 0..n_transfers as usize {
+                if !done[t] {
+                    if comp_shard[t] == sf as u32 {
+                        m_at_sf += 1;
+                    } else {
+                        rem_elsewhere += 1;
+                    }
+                }
+            }
+            let mut floor = iter_max_completion;
+            for (s, h) in handles.iter_mut().enumerate() {
+                if s == sf {
+                    continue;
+                }
+                let r = h.window();
+                for &(at, _) in &r.completions {
+                    rem_elsewhere -= 1;
+                    floor = floor.max(at);
+                }
+                resps[s] = Some(r);
+            }
+            if rem_elsewhere == 0 && m_at_sf == 0 {
+                // The iteration just ended at the other shards: the
+                // boundary time is exact. (The barrier below marks the
+                // flips fired when it observes the final completion.)
+                handles[sf].send(Cmd::Arm(None));
+                handles[sf].send(Cmd::Install(boundary_flips, floor));
+            } else if rem_elsewhere == 0 {
+                // Every remaining completion lands at the owner itself:
+                // arm the countdown (overwriting any partial arm from a
+                // previous round with recomputed numbers).
+                handles[sf].send(Cmd::Arm(Some((m_at_sf, floor, boundary_flips))));
+            } else {
+                // The iteration cannot end this round; make sure no stale
+                // arm survives.
+                handles[sf].send(Cmd::Arm(None));
+            }
+            handles[sf].send(Cmd::Window(w));
+            resps[sf] = Some(handles[sf].window());
+        }
+
+        // Barrier: merge responses.
+        let mut round_completions: Vec<(SimTime, u32)> = Vec::new();
+        let mut opens_by: Vec<Vec<RemoteOpen>> = vec![Vec::new(); n as usize];
+        let mut pkts_by: Vec<Vec<RemotePkt>> = vec![Vec::new(); n as usize];
+        let mut pfcs_by: Vec<Vec<RemotePfc>> = vec![Vec::new(); n as usize];
+        total_events = 0;
+        for (s, r) in resps.iter_mut().enumerate() {
+            let r = r.as_mut().expect("every shard answered");
+            nexts[s] = r.next;
+            total_events += r.events;
+            if install_ns.is_none() {
+                install_ns = r.install_ns;
+            }
+            round_completions.extend_from_slice(&r.completions);
+            for o in r.opens.drain(..) {
+                opens_by[plan.owner(NodeId::Host(o.dst)) as usize].push(o);
+            }
+            for p in r.pkts.drain(..) {
+                pkts_by[plan.link_dst_owner(topo, p.link) as usize].push(p);
+            }
+            for p in r.pfcs.drain(..) {
+                pfcs_by[plan.link_owner(topo, p.link) as usize].push(p);
+            }
+        }
+
+        // Completions advance the iteration state machine in time order
+        // (ties broken by transfer id; the tie-break never matters for the
+        // boundary, which is the *maximum* completion time).
+        round_completions.sort_by_key(|&(at, t)| (at, t));
+        for &(at, t) in &round_completions {
+            debug_assert!(!done[t as usize], "transfer completed twice");
+            done[t as usize] = true;
+            outstanding -= 1;
+            iter_max_completion = iter_max_completion.max(at);
+            if outstanding == 0 {
+                let t_end = iter_max_completion;
+                iter_spans.push(IterSpanRecord {
+                    job: rcfg.job,
+                    iter,
+                    start: iter_started[iter as usize],
+                    end: t_end,
+                });
+                // Flips due at this boundary fired in-round via the armed
+                // protocol; consume them from the schedule.
+                if iter + 1 < rcfg.iterations {
+                    let _ = take_flips(iter + 1, &mut fired);
+                }
+                iter += 1;
+                if iter < rcfg.iterations {
+                    done.iter_mut().for_each(|d| *d = false);
+                    outstanding = n_transfers;
+                    iter_max_completion = SimTime::ZERO;
+                    begin_iteration(
+                        iter,
+                        t_end + gap,
+                        &mut rng,
+                        &mut iter_started,
+                        &mut handles,
+                        &mut nexts,
+                    );
+                }
+            }
+        }
+
+        // Route boundary-crossing records, deterministically ordered by
+        // arrival time (ties broken by link/flow identity — stable across
+        // shard counts and backends).
+        for s in 0..n as usize {
+            let mut opens = std::mem::take(&mut opens_by[s]);
+            let mut pkts = std::mem::take(&mut pkts_by[s]);
+            let mut pfcs = std::mem::take(&mut pfcs_by[s]);
+            if opens.is_empty() && pkts.is_empty() && pfcs.is_empty() {
+                continue;
+            }
+            opens.sort_by_key(|o| (o.at, o.global));
+            pkts.sort_by_key(|p| (p.at, p.link.0));
+            pfcs.sort_by_key(|p| (p.at, p.link.0, p.prio));
+            for p in &pkts {
+                fold_next(&mut nexts[s], p.at);
+            }
+            for p in &pfcs {
+                fold_next(&mut nexts[s], p.at);
+            }
+            handles[s].send(Cmd::Inject { opens, pkts, pfcs });
+        }
+    }
+
+    // Collect and merge final artifacts.
+    for h in handles.iter_mut() {
+        h.send(Cmd::Finish);
+    }
+    let mut stats = Stats::default();
+    let mut counters: Option<CounterStore> = None;
+    let mut agg_counters: Option<CounterStore> = None;
+    let mut trace: Vec<TraceRecord> = Vec::new();
+    let mut trace_offered = 0u64;
+    let mut trace_truncated = false;
+    let mut sched_kind = SchedKind::default();
+    let mut sched_stats = SchedStats::default();
+    let mut shard_events = Vec::with_capacity(n as usize);
+    let mut artifacts = 0u64;
+    for (s, h) in handles.iter_mut().enumerate() {
+        let f = h.finish();
+        shard_events.push(f.stats.events);
+        artifacts += f.artifact_events;
+        if install_ns.is_none() {
+            install_ns = f.install_ns;
+        }
+        stats.merge(&f.stats);
+        match counters.as_mut() {
+            None => counters = Some(f.counters),
+            Some(c) => c.merge_from(&f.counters),
+        }
+        match agg_counters.as_mut() {
+            None => agg_counters = Some(f.agg_counters),
+            Some(c) => c.merge_from(&f.agg_counters),
+        }
+        trace.extend(f.trace);
+        trace_offered += f.trace_offered;
+        trace_truncated |= f.trace_truncated;
+        if s == 0 {
+            sched_kind = f.sched_kind;
+        }
+        sched_stats.merge(&f.sched);
+    }
+    // Coordination-artifact events (scheduled fault updates standing in
+    // for the unsharded synchronous hook) are excluded so merged event
+    // totals match an unsharded run exactly.
+    stats.events -= artifacts;
+    trace.sort_by_key(|r| r.t_ns);
+
+    ShardedOutcome {
+        stats,
+        counters: counters.expect("at least one shard"),
+        agg_counters: agg_counters.expect("at least one shard"),
+        iter_spans,
+        trace,
+        trace_offered,
+        trace_truncated,
+        sched_kind,
+        sched: sched_stats,
+        shard_events,
+        install_ns,
+        rounds,
+    }
+}
+
+/// Execution backend for sharded runs, from `FP_SHARD_EXEC`
+/// (`thread` default, `inline` for single-threaded debugging).
+pub fn threaded_from_env() -> bool {
+    !matches!(
+        std::env::var("FP_SHARD_EXEC").as_deref(),
+        Ok("inline") | Ok("0")
+    )
+}

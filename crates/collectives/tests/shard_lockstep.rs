@@ -1,0 +1,350 @@
+//! Sharded-vs-unsharded lockstep equivalence.
+//!
+//! The intra-trial sharding coordinator (`fp_collectives::shard`) promises
+//! byte-identical results to an unsharded `CollectiveRunner` run at any
+//! shard count, on either execution backend. These tests run both paths
+//! over identical inputs — including silent-fault installs and heals at
+//! iteration boundaries, preexisting admin-down links, and multiple
+//! collective shapes — and compare every artifact the harness reads:
+//! statistics, both counter stores, iteration spans, and the trace.
+
+use fp_collectives::prelude::*;
+use fp_netsim::prelude::*;
+use fp_netsim::trace::TraceRecord;
+use proptest::prelude::*;
+
+/// Everything a trial reads from the fabric, in debug form (none of the
+/// artifact types implement `Eq`; their `Debug` output is total).
+#[derive(PartialEq, Eq, Debug)]
+struct Fingerprint {
+    stats: String,
+    counters: String,
+    agg_counters: String,
+    spans: Vec<(u32, u32, u64, u64)>,
+    trace: String,
+}
+
+/// Stats fingerprint. With `seen_exact` false, the `max_queue_bytes`
+/// high-water mark is scrubbed: whether a same-instant arrival enqueues
+/// before or after a departure moves the momentary peak by one packet —
+/// the same tie residual as the `first_seen`/`last_seen` stamps. All
+/// conservation counters (events, packets, bytes, drops, retransmits)
+/// are always compared exactly.
+fn stats_fp(stats: &Stats, seen_exact: bool) -> String {
+    let mut s = format!("{stats:?}");
+    if !seen_exact {
+        if let Some(i) = s.find("max_queue_bytes") {
+            s.truncate(i);
+            s.push_str("max_queue_bytes: _ }");
+        }
+    }
+    s
+}
+
+fn spans_of(spans: &[IterSpanRecord]) -> Vec<(u32, u32, u64, u64)> {
+    spans
+        .iter()
+        .map(|s| (s.job, s.iter, s.start.as_ns(), s.end.as_ns()))
+        .collect()
+}
+
+struct Scenario {
+    topo: Topology,
+    cfg: SimConfig,
+    seed: u64,
+    sched: Schedule,
+    rcfg: RunnerConfig,
+    admin_down: Vec<LinkId>,
+    faults: Vec<ShardFault>,
+    /// Compare the counters' `first_seen`/`last_seen` arrival stamps
+    /// exactly. Collectives whose symmetric exchanges land two packets on
+    /// different upstream links at the *same nanosecond* (halving-doubling
+    /// does; jittered rings do not) hit the one residual the sharded path
+    /// does not replicate: the unsharded engine serves same-instant
+    /// arrivals in global send order, while shards resolve the tie by
+    /// shard-local sequence, shifting a tail arrival stamp by one
+    /// serialization quantum. Placement (bytes/pkts matrices), drops,
+    /// stats, spans and trace stay identical — only these two telemetry
+    /// stamps can move, so such scenarios compare counters with the
+    /// stamps scrubbed.
+    seen_exact: bool,
+}
+
+fn hosts(n: u32) -> Vec<HostId> {
+    (0..n).map(HostId).collect()
+}
+
+/// Canonical trace fingerprint: the record multiset, sorted, with flow-id
+/// labels scrubbed. Two known label-level differences exist between the
+/// sharded and unsharded paths, neither observable through any exported
+/// artifact: cross-shard records carrying the same timestamp have no
+/// defined interleave order in the merged trace, and sharded runs
+/// allocate trial-global flow ids strided by shard count, so a dropped
+/// flow's *number* differs even though the drop itself (time, link,
+/// cause) is in lockstep.
+fn trace_fp(records: &[TraceRecord]) -> String {
+    let mut lines: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let mut line = format!("{r:?}");
+            let mut from = 0;
+            while let Some(off) = line[from..].find("Some(") {
+                let i = from + off;
+                let rest = &line[i + 5..];
+                match rest.find(')') {
+                    Some(j) if rest[..j].bytes().all(|b| b.is_ascii_digit()) => {
+                        line.replace_range(i..i + 5 + j + 1, "Some(_)");
+                    }
+                    _ => {}
+                }
+                from = i + 5;
+            }
+            line
+        })
+        .collect();
+    lines.sort_unstable();
+    lines.join("\n")
+}
+
+/// Canonical counter-store fingerprint: entries in sorted key order (the
+/// store's raw `Debug` includes a `HashMap` index whose print order is
+/// nondeterministic even for identical contents). With `seen_exact`
+/// false, the trailing `first_seen`/`last_seen` stamps are scrubbed —
+/// see [`Scenario::seen_exact`].
+fn counters_fp(c: &CounterStore, seen_exact: bool) -> String {
+    let mut keys = c.keys();
+    keys.sort_unstable();
+    let mut s = String::new();
+    for (job, iter) in keys {
+        let mut entry = format!("{:?}", c.get(job, iter).unwrap());
+        if !seen_exact {
+            if let Some(i) = entry.find("first_seen") {
+                entry.truncate(i);
+                entry.push_str("first_seen: _ }");
+            }
+        }
+        s.push_str(&format!("({job},{iter})=>{entry};"));
+    }
+    s
+}
+
+/// The unsharded reference: one simulator, the real `CollectiveRunner`,
+/// and an iteration-start hook applying the fault flips with the
+/// evaluation harness's once-only semantics.
+fn reference(sc: &Scenario) -> Fingerprint {
+    let mut sim = Simulator::new(sc.topo.clone(), sc.cfg.clone(), sc.seed);
+    for &l in &sc.admin_down {
+        sim.apply_fault_now(l, FaultAction::Set(FaultKind::AdminDown), false);
+    }
+    let mut runner = CollectiveRunner::new(sc.sched.clone(), sc.rcfg.clone());
+    let faults = sc.faults.clone();
+    let mut fired = vec![false; faults.len()];
+    runner.set_iteration_start_hook(Box::new(move |sim, iter| {
+        for (f, fr) in faults.iter().zip(fired.iter_mut()) {
+            if !*fr && iter >= f.at_iter {
+                sim.apply_fault_now(f.link, f.action, false);
+                *fr = true;
+            }
+        }
+    }));
+    sim.set_app(Box::new(runner));
+    sim.run();
+    Fingerprint {
+        stats: stats_fp(&sim.stats, sc.seen_exact),
+        counters: counters_fp(&sim.counters, sc.seen_exact),
+        agg_counters: counters_fp(&sim.agg_counters, sc.seen_exact),
+        spans: spans_of(sim.iter_spans()),
+        trace: trace_fp(&sim.trace.to_records()),
+    }
+}
+
+fn sharded(sc: &Scenario, shards: u32, threaded: bool) -> Fingerprint {
+    let out = run_sharded(
+        &sc.topo,
+        &sc.cfg,
+        sc.seed,
+        shards,
+        threaded,
+        sc.sched.clone(),
+        sc.rcfg.clone(),
+        &sc.admin_down,
+        &sc.faults,
+    );
+    Fingerprint {
+        stats: stats_fp(&out.stats, sc.seen_exact),
+        counters: counters_fp(&out.counters, sc.seen_exact),
+        agg_counters: counters_fp(&out.agg_counters, sc.seen_exact),
+        spans: spans_of(&out.iter_spans),
+        trace: trace_fp(&out.trace),
+    }
+}
+
+fn check_all_backends(sc: &Scenario, shard_counts: &[u32]) {
+    let want = reference(sc);
+    for &k in shard_counts {
+        for threaded in [false, true] {
+            let got = sharded(sc, k, threaded);
+            let ctx = format!("shards={k}, threaded={threaded}");
+            assert_eq!(want.stats, got.stats, "stats diverged ({ctx})");
+            assert_eq!(want.counters, got.counters, "counters diverged ({ctx})");
+            assert_eq!(
+                want.agg_counters, got.agg_counters,
+                "agg counters diverged ({ctx})"
+            );
+            if sc.seen_exact {
+                assert_eq!(want.spans, got.spans, "iteration spans diverged ({ctx})");
+            } else {
+                // Same-instant tie scenarios: a tail arrival can shift by
+                // one serialization quantum, moving the span end with it
+                // (see `Scenario::seen_exact`). Starts stay exact.
+                assert_eq!(want.spans.len(), got.spans.len(), "span count ({ctx})");
+                for (w, g) in want.spans.iter().zip(got.spans.iter()) {
+                    assert_eq!(
+                        (w.0, w.1, w.2),
+                        (g.0, g.1, g.2),
+                        "span identity/start diverged ({ctx})"
+                    );
+                    assert!(
+                        w.3.abs_diff(g.3) <= 1_000,
+                        "span end drifted beyond one quantum: {} vs {} ({ctx})",
+                        w.3,
+                        g.3
+                    );
+                }
+            }
+            assert_eq!(want.trace, got.trace, "trace diverged ({ctx})");
+        }
+    }
+}
+
+fn base_scenario(leaves: u32, spines: u32, seed: u64) -> Scenario {
+    let topo = Topology::fat_tree(FatTreeSpec {
+        leaves,
+        spines,
+        hosts_per_leaf: 1,
+        ..Default::default()
+    });
+    let sched = ring_allreduce(&hosts(leaves), 96 * 1024);
+    let rcfg = RunnerConfig {
+        iterations: 3,
+        jitter: JitterModel::Uniform {
+            max: SimDuration::from_us(1),
+        },
+        ..Default::default()
+    };
+    Scenario {
+        topo,
+        cfg: SimConfig::default(),
+        seed,
+        sched,
+        rcfg,
+        admin_down: Vec::new(),
+        faults: Vec::new(),
+        seen_exact: true,
+    }
+}
+
+#[test]
+fn clean_ring_matches_at_all_shard_counts() {
+    let sc = base_scenario(8, 4, 11);
+    check_all_backends(&sc, &[1, 2, 3, 4, 8]);
+}
+
+#[test]
+fn silent_drop_install_and_heal_match() {
+    let mut sc = base_scenario(8, 4, 12);
+    let down = sc.topo.downlink(1, 2);
+    sc.faults = vec![
+        ShardFault {
+            link: down,
+            action: FaultAction::Set(FaultKind::SilentDrop { rate: 0.05 }),
+            at_iter: 1,
+        },
+        ShardFault {
+            link: down,
+            action: FaultAction::Clear,
+            at_iter: 2,
+        },
+    ];
+    check_all_backends(&sc, &[1, 2, 4, 8]);
+}
+
+#[test]
+fn blackhole_from_start_matches() {
+    let mut sc = base_scenario(8, 4, 13);
+    sc.faults = vec![ShardFault {
+        link: sc.topo.downlink(0, 5),
+        action: FaultAction::Set(FaultKind::SilentBlackhole),
+        at_iter: 0,
+    }];
+    check_all_backends(&sc, &[1, 2, 4]);
+}
+
+#[test]
+fn preexisting_admin_down_matches() {
+    let mut sc = base_scenario(8, 4, 14);
+    // An admin-down pair (uplink and downlink of one cable), as the
+    // harness installs preexisting known faults.
+    sc.admin_down = vec![sc.topo.uplink(3, 1), sc.topo.downlink(1, 3)];
+    check_all_backends(&sc, &[1, 2, 4, 8]);
+}
+
+#[test]
+fn halving_doubling_matches() {
+    let mut sc = base_scenario(8, 4, 15);
+    sc.sched = halving_doubling_allreduce(&hosts(8), 128 * 1024);
+    // Halving-doubling's pairwise exchanges land packets on two spine
+    // downlinks at the same nanosecond — the same-instant tie the sharded
+    // path resolves differently (see `Scenario::seen_exact`).
+    sc.seen_exact = false;
+    sc.faults = vec![ShardFault {
+        link: sc.topo.downlink(2, 6),
+        action: FaultAction::Set(FaultKind::SilentDrop { rate: 0.1 }),
+        at_iter: 1,
+    }];
+    check_all_backends(&sc, &[2, 4]);
+}
+
+#[test]
+fn no_jitter_simultaneous_starts_match() {
+    let mut sc = base_scenario(4, 2, 16);
+    sc.rcfg.jitter = JitterModel::None;
+    check_all_backends(&sc, &[2, 4]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random faulted scenarios stay in lockstep at random shard counts on
+    /// both backends.
+    #[test]
+    fn random_faulted_runs_match(
+        seed in 1u64..1_000,
+        shards in 2u32..8,
+        fleaf in 0u32..8,
+        fv in 0u32..4,
+        at_iter in 0u32..3,
+        rate in 0.02f64..1.0,
+        threaded_bit in 0u32..2,
+    ) {
+        let threaded = threaded_bit == 1;
+        let mut sc = base_scenario(8, 4, seed);
+        sc.sched = ring_allreduce(&hosts(8), 32 * 1024);
+        let heal = at_iter + 1;
+        sc.faults = vec![
+            ShardFault {
+                link: sc.topo.downlink(fv, fleaf),
+                action: FaultAction::Set(FaultKind::SilentDrop { rate }),
+                at_iter,
+            },
+            ShardFault {
+                link: sc.topo.downlink(fv, fleaf),
+                action: FaultAction::Clear,
+                at_iter: heal,
+            },
+        ];
+        let want = reference(&sc);
+        let got = sharded(&sc, shards, threaded);
+        prop_assert_eq!(want, got);
+    }
+}

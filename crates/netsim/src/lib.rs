@@ -55,6 +55,7 @@ pub mod ids;
 pub mod packet;
 pub mod pipeline;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod spray;
 pub mod stats;
@@ -75,6 +76,7 @@ pub mod prelude {
     pub use crate::fault::{FaultAction, FaultEvent, FaultKind};
     pub use crate::ids::{HostId, LinkId, NodeId, SwitchId};
     pub use crate::packet::{CollectiveTag, FlowId, Packet, Priority};
+    pub use crate::shard::{shards_from_env, ShardPlan};
     pub use crate::sim::{IterSpanRecord, RunReason, RunSummary, Simulator};
     pub use crate::spray::SprayPolicy;
     pub use crate::stats::{DropCause, Stats};

@@ -1,0 +1,474 @@
+//! Intra-trial fabric sharding: topology partition, lookahead derivation,
+//! cross-shard record types, and the lock-free SPSC mailbox used by the
+//! threaded execution backend.
+//!
+//! One trial's fabric is partitioned by leaf (by pod on a 3-level Clos)
+//! into `FP_SHARDS` shards, each owning a disjoint set of hosts and
+//! switches and running its own [`crate::sim::Simulator`] over the *full*
+//! topology (only owned nodes ever have activity). Shards advance in
+//! conservative lockstep windows: with `T = min` over shards of the next
+//! pending event time and `L` the minimum propagation latency of any
+//! cross-shard link, every shard may safely run all events strictly below
+//! `T + L` — any packet a neighbour emits during the window arrives no
+//! earlier than `T + L` (classic conservative PDES lookahead). Packets,
+//! PFC frames and flow-open records crossing a boundary are collected in a
+//! [`ShardOutbox`] and injected into the destination shard's inbound
+//! delivery pipe, stamped with their precomputed arrival time, before the
+//! next window starts.
+//!
+//! The coordination itself lives in `fp-collectives` (it must replicate
+//! the collective runner); this module holds everything `fp-netsim` needs
+//! to expose.
+
+use crate::ids::{HostId, LinkId, NodeId};
+use crate::packet::{CollectiveTag, FlowId, Packet, Priority};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{SwitchKind, Topology};
+
+/// Shard count requested via `FP_SHARDS` (default 1 = unsharded).
+pub fn shards_from_env() -> u32 {
+    std::env::var("FP_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// A static partition of one topology into shards, plus the conservative
+/// lookahead window derived from cross-shard link latencies.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Number of shards (clamped to the partitionable unit count).
+    pub n_shards: u32,
+    /// Owning shard of each host.
+    pub host_owner: Vec<u32>,
+    /// Owning shard of each switch (dense switch index).
+    pub switch_owner: Vec<u32>,
+    /// Minimum one-way latency over links whose endpoints live in
+    /// different shards — the safe lookahead window.
+    pub lookahead: SimDuration,
+}
+
+impl ShardPlan {
+    /// Partition `topo` into (up to) `shards` shards.
+    ///
+    /// Two-level fabrics partition by leaf (`leaf % k`), with hosts
+    /// following their leaf and spines distributed `spine % k`; 3-level
+    /// Clos partitions by pod (leaves and aggs follow their pod, cores
+    /// are distributed round-robin). Host↔leaf links are therefore never
+    /// cross-shard, so the lookahead is the fabric-tier latency.
+    pub fn new(topo: &Topology, shards: u32) -> ShardPlan {
+        let three = topo.is_three_level();
+        let units = if three {
+            topo.pods
+        } else {
+            topo.n_leaves() as u32
+        };
+        let k = shards.clamp(1, units.max(1));
+        let leaf_owner = |leaf: u32| -> u32 {
+            if three {
+                topo.pod_of_leaf(leaf) % k
+            } else {
+                leaf % k
+            }
+        };
+        let switch_owner: Vec<u32> = topo
+            .switch_kind
+            .iter()
+            .map(|&kind| match kind {
+                SwitchKind::Leaf(l) => leaf_owner(l),
+                SwitchKind::Spine(s) => {
+                    if three {
+                        // Aggs are pod-local: follow the pod.
+                        s / topo.spec.spines % k
+                    } else {
+                        s % k
+                    }
+                }
+                SwitchKind::Core(c) => c % k,
+            })
+            .collect();
+        let host_owner: Vec<u32> = topo
+            .host_leaf
+            .iter()
+            .map(|&leaf| leaf_owner(leaf))
+            .collect();
+        let owner_node = |n: NodeId| -> u32 {
+            match n {
+                NodeId::Host(h) => host_owner[h.idx()],
+                NodeId::Switch(s) => switch_owner[s.idx()],
+            }
+        };
+        let lookahead = topo
+            .links
+            .iter()
+            .filter(|l| owner_node(l.src) != owner_node(l.dst))
+            .map(|l| l.latency)
+            .min()
+            .unwrap_or_else(|| {
+                topo.links
+                    .iter()
+                    .map(|l| l.latency)
+                    .min()
+                    .unwrap_or(SimDuration::from_ns(1))
+            });
+        ShardPlan {
+            n_shards: k,
+            host_owner,
+            switch_owner,
+            lookahead,
+        }
+    }
+
+    /// Owning shard of a node.
+    pub fn owner(&self, n: NodeId) -> u32 {
+        match n {
+            NodeId::Host(h) => self.host_owner[h.idx()],
+            NodeId::Switch(s) => self.switch_owner[s.idx()],
+        }
+    }
+
+    /// Owning shard of a directed link: the shard of its *transmitting*
+    /// node (which runs the serialization and the fault sampling).
+    pub fn link_owner(&self, topo: &Topology, link: LinkId) -> u32 {
+        self.owner(topo.links[link.idx()].src)
+    }
+
+    /// Owning shard of a link's *receiving* node — where a packet that
+    /// survived the wire must be delivered.
+    pub fn link_dst_owner(&self, topo: &Topology, link: LinkId) -> u32 {
+        self.owner(topo.links[link.idx()].dst)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard records
+// ---------------------------------------------------------------------
+
+/// A packet that finished serialization on a boundary link: it must be
+/// delivered by the shard owning the link's receiving node at `at`
+/// (TxDone time + link latency, computed by the sender).
+#[derive(Copy, Clone, Debug)]
+pub struct RemotePkt {
+    /// Precomputed arrival time at the far end.
+    pub at: SimTime,
+    /// The boundary link the packet travelled.
+    pub link: LinkId,
+    /// The packet itself.
+    pub pkt: Packet,
+}
+
+/// A PFC pause/resume frame crossing a shard boundary (the receiving
+/// switch's ingress accounting lives in one shard, the paused transmitter
+/// in another).
+#[derive(Copy, Clone, Debug)]
+pub struct RemotePfc {
+    /// When the frame takes effect at the transmitter.
+    pub at: SimTime,
+    /// The link whose egress is paused/resumed.
+    pub link: LinkId,
+    /// Priority class.
+    pub prio: u8,
+    /// `true` = pause, `false` = resume.
+    pub pause: bool,
+}
+
+/// A flow whose destination host lives in another shard: the receiving
+/// shard must create a passive mirror (receiver state + ACK generation)
+/// before any of the flow's data packets arrive.
+#[derive(Copy, Clone, Debug)]
+pub struct RemoteOpen {
+    /// Trial-global flow id (stamped in every wire packet).
+    pub global: FlowId,
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host (owned by the shard this record is sent to).
+    pub dst: HostId,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Collective tag.
+    pub tag: Option<CollectiveTag>,
+    /// Priority class.
+    pub prio: Priority,
+    /// Opaque application token (the workload's transfer id).
+    pub token: u64,
+    /// When the flow was posted at the sender.
+    pub at: SimTime,
+}
+
+/// Everything one shard emitted across its boundary during a window,
+/// drained by the coordinator at the window barrier.
+#[derive(Default, Debug)]
+pub struct ShardOutbox {
+    /// Boundary-crossing packets.
+    pub pkts: Vec<RemotePkt>,
+    /// Boundary-crossing PFC frames.
+    pub pfcs: Vec<RemotePfc>,
+    /// Remote flow opens.
+    pub opens: Vec<RemoteOpen>,
+}
+
+impl ShardOutbox {
+    /// True when nothing crossed the boundary this window.
+    pub fn is_empty(&self) -> bool {
+        self.pkts.is_empty() && self.pfcs.is_empty() && self.opens.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lock-free SPSC mailbox (threaded backend)
+// ---------------------------------------------------------------------
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+
+struct Ring<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Consumer position (monotone).
+    head: AtomicUsize,
+    /// Producer position (monotone).
+    tail: AtomicUsize,
+    closed: AtomicBool,
+    /// Parked consumer, woken by the producer after a push. The mutex is
+    /// touched only when (un)registering a parked thread, never on the
+    /// push/pop fast path.
+    waiter: Mutex<Option<Thread>>,
+}
+
+unsafe impl<T: Send> Sync for Ring<T> {}
+unsafe impl<T: Send> Send for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            unsafe {
+                (*self.buf[i & self.mask].get()).assume_init_drop();
+            }
+        }
+    }
+}
+
+/// Producer half of a single-producer/single-consumer mailbox.
+pub struct SpscSender<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Consumer half of a single-producer/single-consumer mailbox.
+pub struct SpscReceiver<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Build an SPSC mailbox with capacity rounded up to a power of two.
+pub fn spsc<T: Send>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let buf = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let ring = Arc::new(Ring {
+        buf,
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+        waiter: Mutex::new(None),
+    });
+    (SpscSender { ring: ring.clone() }, SpscReceiver { ring })
+}
+
+impl<T: Send> SpscSender<T> {
+    /// Push a value, spinning (yield) while the ring is full. Returns
+    /// `false` if the consumer is gone.
+    pub fn send(&self, value: T) -> bool {
+        let r = &*self.ring;
+        let tail = r.tail.load(Ordering::Relaxed);
+        loop {
+            if r.closed.load(Ordering::Acquire) {
+                return false;
+            }
+            let head = r.head.load(Ordering::Acquire);
+            if tail - head < r.buf.len() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        unsafe {
+            (*r.buf[tail & r.mask].get()).write(value);
+        }
+        r.tail.store(tail + 1, Ordering::Release);
+        if let Some(t) = r.waiter.lock().unwrap().as_ref() {
+            t.unpark();
+        }
+        true
+    }
+}
+
+impl<T> Drop for SpscSender<T> {
+    fn drop(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+        if let Some(t) = self.ring.waiter.lock().unwrap().as_ref() {
+            t.unpark();
+        }
+    }
+}
+
+impl<T: Send> SpscReceiver<T> {
+    /// Pop the next value if one is ready.
+    pub fn try_recv(&self) -> Option<T> {
+        let r = &*self.ring;
+        let head = r.head.load(Ordering::Relaxed);
+        if head == r.tail.load(Ordering::Acquire) {
+            return None;
+        }
+        let v = unsafe { (*r.buf[head & r.mask].get()).assume_init_read() };
+        r.head.store(head + 1, Ordering::Release);
+        Some(v)
+    }
+
+    /// Block until a value arrives; `None` once the producer hung up and
+    /// the ring is drained. Spins briefly, then parks with a timeout (the
+    /// timeout makes a lost wake-up race merely slow, never a deadlock).
+    pub fn recv(&self) -> Option<T> {
+        for _ in 0..128 {
+            if let Some(v) = self.try_recv() {
+                return Some(v);
+            }
+            std::hint::spin_loop();
+        }
+        *self.ring.waiter.lock().unwrap() = Some(std::thread::current());
+        let v = loop {
+            if let Some(v) = self.try_recv() {
+                break Some(v);
+            }
+            if self.ring.closed.load(Ordering::Acquire) {
+                // One final drain: the producer may have pushed then closed.
+                break self.try_recv();
+            }
+            std::thread::park_timeout(std::time::Duration::from_micros(50));
+        };
+        *self.ring.waiter.lock().unwrap() = None;
+        v
+    }
+}
+
+impl<T> Drop for SpscReceiver<T> {
+    fn drop(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::FatTreeSpec;
+
+    fn fabric(leaves: u32, spines: u32) -> Topology {
+        Topology::fat_tree(FatTreeSpec {
+            leaves,
+            spines,
+            hosts_per_leaf: 2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn partition_covers_every_node_and_clamps() {
+        let topo = fabric(8, 4);
+        for shards in [1, 2, 3, 4, 8, 64] {
+            let plan = ShardPlan::new(&topo, shards);
+            assert!(plan.n_shards <= 8);
+            assert_eq!(plan.host_owner.len(), topo.n_hosts());
+            assert_eq!(plan.switch_owner.len(), topo.n_switches());
+            assert!(plan.host_owner.iter().all(|&o| o < plan.n_shards));
+            assert!(plan.switch_owner.iter().all(|&o| o < plan.n_shards));
+            // Every shard owns at least one leaf.
+            for s in 0..plan.n_shards {
+                assert!(
+                    (0..topo.n_leaves() as u32).any(|l| plan.switch_owner[l as usize] == s),
+                    "shard {s} owns no leaf"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hosts_follow_their_leaf() {
+        let topo = fabric(8, 4);
+        let plan = ShardPlan::new(&topo, 4);
+        for h in 0..topo.n_hosts() {
+            let leaf = topo.host_leaf[h];
+            assert_eq!(plan.host_owner[h], plan.switch_owner[leaf as usize]);
+        }
+    }
+
+    #[test]
+    fn lookahead_is_fabric_latency() {
+        let topo = fabric(8, 4);
+        let plan = ShardPlan::new(&topo, 4);
+        // Host links are never cross-shard, so the lookahead equals the
+        // (uniform) fabric-tier latency.
+        let fabric_lat = topo.spec.fabric_link.latency;
+        assert_eq!(plan.lookahead, fabric_lat);
+    }
+
+    #[test]
+    fn single_shard_plan_degenerates() {
+        let topo = fabric(4, 2);
+        let plan = ShardPlan::new(&topo, 1);
+        assert_eq!(plan.n_shards, 1);
+        assert!(plan.host_owner.iter().all(|&o| o == 0));
+        assert!(plan.switch_owner.iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn env_parse_defaults_to_one() {
+        // Never set FP_SHARDS here (process-global env); just check the
+        // parse helper's default path via the raw var being absent or
+        // whatever the harness set — the value must always be >= 1.
+        assert!(shards_from_env() >= 1);
+    }
+
+    #[test]
+    fn spsc_roundtrip_in_order() {
+        let (tx, rx) = spsc::<u64>(4);
+        for i in 0..3 {
+            assert!(tx.send(i));
+        }
+        for i in 0..3 {
+            assert_eq!(rx.try_recv(), Some(i));
+        }
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn spsc_blocking_recv_across_threads() {
+        let (tx, rx) = spsc::<u64>(8);
+        let producer = std::thread::spawn(move || {
+            for i in 0..10_000u64 {
+                assert!(tx.send(i));
+            }
+        });
+        for i in 0..10_000u64 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.recv(), None, "hung-up ring reports end of stream");
+    }
+
+    #[test]
+    fn spsc_drops_undelivered_values() {
+        // Drop with items still queued: must not leak (checked by Miri/
+        // sanitizers; here it just must not crash).
+        let (tx, rx) = spsc::<String>(8);
+        tx.send("a".to_string());
+        tx.send("b".to_string());
+        drop(rx);
+        assert!(!tx.send("c".to_string()), "closed ring rejects sends");
+    }
+}

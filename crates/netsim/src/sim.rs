@@ -28,6 +28,7 @@ use crate::ids::{HostId, LinkId, NodeId, SwitchId};
 use crate::packet::{AckBlock, CollectiveTag, FlowId, Packet, PacketKind, Priority, NPRIO};
 use crate::pipeline::{FrontHeap, InFlight, PipeFront};
 use crate::rng::RngStreams;
+use crate::shard::{RemoteOpen, RemotePfc, RemotePkt, ShardOutbox, ShardPlan};
 use crate::spray;
 use crate::stats::{DropCause, Stats};
 use crate::time::{SimDuration, SimTime};
@@ -35,7 +36,7 @@ use crate::topology::{LinkClass, SwitchKind, Topology};
 use crate::trace::{TraceBuffer, TraceEvent};
 use crate::transport::{AckAccum, FlowState};
 use fp_telemetry::{LinkMeta, LinkSample, Recorder};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Runtime state of one directed link (its egress queue lives at the
 /// transmitting node).
@@ -180,6 +181,28 @@ pub struct IterSpanRecord {
     pub end: SimTime,
 }
 
+/// Per-shard state of a simulator participating in an intra-trial
+/// sharded run (see [`crate::shard`]). `None` on ordinary simulators —
+/// every sharding hook then reduces to one `Option` branch, keeping the
+/// unsharded fast path and its output bytes untouched.
+struct ShardCtx {
+    /// This simulator's shard id.
+    shard: u32,
+    /// The partition (node owners + lookahead).
+    plan: ShardPlan,
+    /// First delivery-pipe index reserved for coordinator-injected remote
+    /// arrivals (one extra pipe per latency class).
+    remote_pipe_base: u32,
+    /// Trial-global flow id → local `flows` index, for own flows and
+    /// mirrors of remotely-posted flows alike.
+    fid_map: HashMap<FlowId, FlowId>,
+    /// Next global flow id to allocate (strided by `plan.n_shards` so
+    /// shards never collide without coordination).
+    next_global: FlowId,
+    /// Boundary-crossing traffic emitted this window.
+    outbox: ShardOutbox,
+}
+
 /// The packet-level fat-tree simulator.
 pub struct Simulator {
     /// Configuration (immutable after construction).
@@ -226,6 +249,8 @@ pub struct Simulator {
     recorder: Option<Box<dyn Recorder>>,
     scratch_cands: Vec<LinkId>,
     scratch_loads: Vec<u64>,
+    /// Sharded-run state; `None` (the default) on ordinary simulators.
+    shard: Option<Box<ShardCtx>>,
 }
 
 impl Simulator {
@@ -312,6 +337,7 @@ impl Simulator {
             recorder: None,
             scratch_cands: Vec::new(),
             scratch_loads: Vec::new(),
+            shard: None,
         };
         sim.recompute_routing();
         sim
@@ -494,18 +520,33 @@ impl Simulator {
 
     /// Apply a fault action right now.
     pub fn apply_fault_now(&mut self, link: LinkId, action: FaultAction, bidirectional: bool) {
-        self.apply_fault_action(link, action);
+        self.apply_fault_action(link, action, true);
         if bidirectional {
             let peer = self.topo.peer[link.idx()];
-            self.apply_fault_action(peer, action);
+            self.apply_fault_action(peer, action, true);
         }
     }
 
-    fn apply_fault_action(&mut self, link: LinkId, action: FaultAction) {
+    /// Apply a fault action right now without a trace record. Used by
+    /// sharded runs to replicate *known* (routing-visible) faults onto
+    /// shards that do not own the link: the state flip must happen
+    /// everywhere, but only the owning shard's trace may record it, or the
+    /// merged trace would show one install per shard.
+    pub fn apply_fault_untraced(&mut self, link: LinkId, action: FaultAction, bidirectional: bool) {
+        self.apply_fault_action(link, action, false);
+        if bidirectional {
+            let peer = self.topo.peer[link.idx()];
+            self.apply_fault_action(peer, action, false);
+        }
+    }
+
+    fn apply_fault_action(&mut self, link: LinkId, action: FaultAction, traced: bool) {
         match action {
             FaultAction::Set(kind) => {
-                self.trace
-                    .push(self.now, TraceEvent::FaultSet { link, kind });
+                if traced {
+                    self.trace
+                        .push(self.now, TraceEvent::FaultSet { link, kind });
+                }
                 if kind == FaultKind::AdminDown {
                     self.links[link.idx()].admin_up = false;
                     self.links[link.idx()].fault = None;
@@ -516,7 +557,9 @@ impl Simulator {
                 }
             }
             FaultAction::Clear => {
-                self.trace.push(self.now, TraceEvent::FaultCleared { link });
+                if traced {
+                    self.trace.push(self.now, TraceEvent::FaultCleared { link });
+                }
                 let was_down = !self.links[link.idx()].admin_up;
                 self.links[link.idx()].fault = None;
                 self.links[link.idx()].admin_up = true;
@@ -627,18 +670,59 @@ impl Simulator {
         tag: Option<CollectiveTag>,
         prio: Priority,
     ) -> FlowId {
+        self.post_message_tok(src, dst, bytes, tag, prio, u64::MAX)
+    }
+
+    /// [`Simulator::post_message`] with an opaque application token
+    /// attached to the flow (readable back via `flows[id].app_token`).
+    /// Sharded workload drivers use the token to map completions at the
+    /// receiving shard back to workload transfers.
+    pub fn post_message_tok(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        tag: Option<CollectiveTag>,
+        prio: Priority,
+        token: u64,
+    ) -> FlowId {
         assert!(src != dst, "self-addressed message");
         let id = self.flows.len() as FlowId;
-        self.flows.push(FlowState::new(
-            src,
-            dst,
-            bytes,
-            self.cfg.mtu,
-            tag,
-            prio,
-            self.now,
-        ));
+        let mut f = FlowState::new(src, dst, bytes, self.cfg.mtu, tag, prio, self.now);
+        f.app_token = token;
+        f.global = match self.shard.as_mut() {
+            Some(c) => {
+                debug_assert_eq!(
+                    c.plan.owner(NodeId::Host(src)),
+                    c.shard,
+                    "posting at a non-owned host"
+                );
+                let g = c.next_global;
+                c.next_global += c.plan.n_shards;
+                c.fid_map.insert(g, id);
+                g
+            }
+            None => id,
+        };
+        let global = f.global;
+        self.flows.push(f);
         self.hosts[src.idx()].active.push_back(id);
+        if let Some(c) = self.shard.as_mut() {
+            // The receiver lives in another shard: ship an open record so
+            // its mirror exists before any data packet crosses over.
+            if c.plan.owner(NodeId::Host(dst)) != c.shard {
+                c.outbox.opens.push(RemoteOpen {
+                    global,
+                    src,
+                    dst,
+                    bytes,
+                    tag,
+                    prio,
+                    token,
+                    at: self.now,
+                });
+            }
+        }
         self.try_start_tx(self.topo.host_up[src.idx()]);
         id
     }
@@ -647,6 +731,148 @@ impl Simulator {
     pub fn schedule_wake(&mut self, at: SimTime, host: HostId, token: u64) {
         debug_assert!(at >= self.now);
         self.heap.push(at, EventKind::Wake { host, token });
+    }
+
+    // ------------------------------------------------------------------
+    // Intra-trial sharding (see `crate::shard` and DESIGN.md)
+    // ------------------------------------------------------------------
+
+    /// Turn this simulator into shard `shard` of `plan`. Must be called
+    /// before any traffic is posted. Appends one delivery pipe per
+    /// latency class for coordinator-injected remote arrivals.
+    pub fn attach_shard(&mut self, shard: u32, plan: ShardPlan) {
+        assert!(
+            self.flows.is_empty() && self.now == SimTime::ZERO,
+            "attach_shard must precede all traffic"
+        );
+        assert!(shard < plan.n_shards, "shard id out of range");
+        let base = self.pipes.len() as u32;
+        for _ in 0..base {
+            self.pipes.push(VecDeque::new());
+        }
+        self.shard = Some(Box::new(ShardCtx {
+            shard,
+            plan,
+            remote_pipe_base: base,
+            fid_map: HashMap::new(),
+            next_global: shard,
+            outbox: ShardOutbox::default(),
+        }));
+    }
+
+    /// Earliest pending event or head-of-pipe arrival time, if any — the
+    /// shard's contribution to the coordinator's conservative window.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.next_due().map(|(t, _)| t)
+    }
+
+    /// Run every event strictly before `end` (the conservative window
+    /// bound). The clock is *not* advanced to `end` on drain, so a
+    /// quiescent shard never races ahead of injected future arrivals.
+    /// Returns events processed.
+    pub fn run_window(&mut self, end: SimTime) -> u64 {
+        self.start_app_if_needed();
+        let start_events = self.stats.events;
+        loop {
+            let from_front = match self.next_due() {
+                None => break,
+                Some((t, _)) if t >= end => break,
+                Some((_, ff)) => ff,
+            };
+            if from_front {
+                self.deliver_front();
+            } else {
+                let (k_at, kind) = self.heap.pop().expect("peeked");
+                self.dispatch(k_at, kind);
+            }
+        }
+        self.stats.events - start_events
+    }
+
+    /// Inject a packet that crossed the shard boundary: append it to the
+    /// remote delivery pipe of `link`'s latency class, stamped with the
+    /// sender-computed arrival time. Arrivals per pipe must be injected
+    /// in nondecreasing time order (the coordinator sorts each window).
+    pub fn shard_inject_pkt(&mut self, at: SimTime, link: LinkId, pkt: Packet) {
+        let c = self
+            .shard
+            .as_ref()
+            .expect("shard_inject_pkt on unsharded sim");
+        let class = c.remote_pipe_base + self.link_pipe[link.idx()];
+        let seq = self.heap.reserve_seq();
+        let pipe = &mut self.pipes[class as usize];
+        debug_assert!(
+            pipe.back().is_none_or(|b| (b.at, b.seq) < (at, seq)),
+            "remote pipe arrivals must be FIFO"
+        );
+        if pipe.is_empty() {
+            self.front.arm(PipeFront {
+                at,
+                seq,
+                pipe: class,
+            });
+        }
+        pipe.push_back(InFlight { at, seq, link, pkt });
+        self.links[link.idx()].inflight += 1;
+        self.in_flight_pkts += 1;
+    }
+
+    /// Inject a PFC frame that crossed the shard boundary (the paused
+    /// transmitter lives here, the switch that sent the frame does not).
+    pub fn shard_inject_pfc(&mut self, at: SimTime, link: LinkId, prio: u8, pause: bool) {
+        debug_assert!(at >= self.now, "PFC injected into the past");
+        self.heap.push(at, EventKind::Pfc { link, prio, pause });
+    }
+
+    /// Create a passive receiver mirror for a flow posted in another
+    /// shard. The mirror holds receiver state (reassembly, ACK
+    /// generation) and never transmits.
+    pub fn shard_open_flow(&mut self, open: &RemoteOpen) {
+        let id = self.flows.len() as FlowId;
+        let mut f = FlowState::new(
+            open.src,
+            open.dst,
+            open.bytes,
+            self.cfg.mtu,
+            open.tag,
+            open.prio,
+            open.at,
+        );
+        f.global = open.global;
+        f.app_token = open.token;
+        self.flows.push(f);
+        let c = self
+            .shard
+            .as_mut()
+            .expect("shard_open_flow on unsharded sim");
+        debug_assert_eq!(
+            c.plan.owner(NodeId::Host(open.dst)),
+            c.shard,
+            "mirror at a non-owned host"
+        );
+        c.fid_map.insert(open.global, id);
+    }
+
+    /// Drain the boundary-crossing traffic emitted since the last drain.
+    pub fn shard_take_outbox(&mut self) -> ShardOutbox {
+        std::mem::take(
+            &mut self
+                .shard
+                .as_mut()
+                .expect("unsharded sim has no outbox")
+                .outbox,
+        )
+    }
+
+    /// Local `flows` index of a wire-level (trial-global) flow id.
+    fn local_fid(&self, global: FlowId) -> FlowId {
+        match self.shard.as_ref() {
+            Some(c) => *c
+                .fid_map
+                .get(&global)
+                .expect("packet for a flow this shard never saw opened"),
+            None => global,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -977,7 +1203,10 @@ impl Simulator {
             let seq = f.next_seq;
             f.next_seq += 1;
             let pkt = Packet {
-                kind: PacketKind::Data { flow: fid, seq },
+                kind: PacketKind::Data {
+                    flow: f.global,
+                    seq,
+                },
                 src: f.src,
                 dst: f.dst,
                 size: f.seg_size(seq),
@@ -1044,6 +1273,23 @@ impl Simulator {
                     },
                 },
             );
+        } else if self
+            .shard
+            .as_ref()
+            .is_some_and(|c| c.plan.link_dst_owner(&self.topo, link) != c.shard)
+        {
+            // The far end belongs to another shard: hand the packet to
+            // the coordinator with its precomputed arrival time instead
+            // of the local pipes. Cross-shard links have latency >= the
+            // plan's lookahead, so the arrival always lands in a later
+            // window.
+            let at = self.now + self.topo.links[link.idx()].latency;
+            self.shard
+                .as_mut()
+                .expect("checked above")
+                .outbox
+                .pkts
+                .push(RemotePkt { at, link, pkt });
         } else {
             // Pipe insert — the surviving packet goes on the wire. A
             // sequence number is reserved here, exactly where the old
@@ -1093,13 +1339,39 @@ impl Simulator {
         if s.pause_sent[port][q] && s.ingress_usage[port][q] <= self.cfg.pfc.xon_bytes {
             s.pause_sent[port][q] = false;
             self.stats.pfc_resumes += 1;
-            let delay = self.topo.links[self.topo.peer[in_link.idx()].idx()].latency;
+            self.push_pfc(in_link, q as u8, false);
+        }
+    }
+
+    /// Schedule a PFC pause/resume frame taking effect at `in_link`'s
+    /// transmitter one reverse-link latency from now. If that transmitter
+    /// lives in another shard the frame crosses via the outbox.
+    fn push_pfc(&mut self, in_link: LinkId, prio: u8, pause: bool) {
+        let delay = self.topo.links[self.topo.peer[in_link.idx()].idx()].latency;
+        let at = self.now + delay;
+        if self
+            .shard
+            .as_ref()
+            .is_some_and(|c| c.plan.link_owner(&self.topo, in_link) != c.shard)
+        {
+            self.shard
+                .as_mut()
+                .expect("checked above")
+                .outbox
+                .pfcs
+                .push(RemotePfc {
+                    at,
+                    link: in_link,
+                    prio,
+                    pause,
+                });
+        } else {
             self.heap.push(
-                self.now + delay,
+                at,
                 EventKind::Pfc {
                     link: in_link,
-                    prio: q as u8,
-                    pause: false,
+                    prio,
+                    pause,
                 },
             );
         }
@@ -1282,15 +1554,7 @@ impl Simulator {
                     {
                         s.pause_sent[port][q] = true;
                         self.stats.pfc_pauses += 1;
-                        let delay = self.topo.links[self.topo.peer[in_link.idx()].idx()].latency;
-                        self.heap.push(
-                            self.now + delay,
-                            EventKind::Pfc {
-                                link: in_link,
-                                prio: q as u8,
-                                pause: true,
-                            },
-                        );
+                        self.push_pfc(in_link, q as u8, true);
                     }
                 }
             }
@@ -1303,9 +1567,17 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn host_receive(&mut self, h: HostId, pkt: Packet) {
+        // Wire packets carry trial-global flow ids; translate to the
+        // local table (identity on unsharded simulators).
         match pkt.kind {
-            PacketKind::Data { flow, seq } => self.receive_data(h, flow, seq, pkt.size),
-            PacketKind::Ack { flow, block } => self.receive_ack(h, flow, block),
+            PacketKind::Data { flow, seq } => {
+                let flow = self.local_fid(flow);
+                self.receive_data(h, flow, seq, pkt.size)
+            }
+            PacketKind::Ack { flow, block } => {
+                let flow = self.local_fid(flow);
+                self.receive_ack(h, flow, block)
+            }
         }
     }
 
@@ -1401,7 +1673,10 @@ impl Simulator {
     fn send_ack(&mut self, flow: FlowId, block: AckBlock) {
         let f = &self.flows[flow as usize];
         let pkt = Packet {
-            kind: PacketKind::Ack { flow, block },
+            kind: PacketKind::Ack {
+                flow: f.global,
+                block,
+            },
             src: f.dst,
             dst: f.src,
             size: self.cfg.ack_size,
@@ -1468,7 +1743,10 @@ impl Simulator {
         let (src, pkt) = {
             let f = &self.flows[flow as usize];
             let pkt = Packet {
-                kind: PacketKind::Data { flow, seq },
+                kind: PacketKind::Data {
+                    flow: f.global,
+                    seq,
+                },
                 src: f.src,
                 dst: f.dst,
                 size: f.seg_size(seq),

@@ -89,6 +89,36 @@ impl Stats {
     pub fn silent_drops(&self) -> u64 {
         self.drops[DropCause::SilentFault.idx()]
     }
+
+    /// Fold another run's counters into this one (used to merge per-shard
+    /// statistics of an intra-trial sharded run). Every field is a sum
+    /// except `max_queue_bytes`, which is a high-water mark. Each counter
+    /// has a single writing shard (transmit-side stats at the sender's
+    /// shard, delivery-side at the receiver's), so the merged totals equal
+    /// an unsharded run's.
+    pub fn merge(&mut self, other: &Stats) {
+        self.events += other.events;
+        self.pipeline_deliveries += other.pipeline_deliveries;
+        self.pkts_txed += other.pkts_txed;
+        self.data_pkts_sent += other.data_pkts_sent;
+        self.acks_sent += other.acks_sent;
+        self.retransmits += other.retransmits;
+        self.rto_stale_skips += other.rto_stale_skips;
+        self.data_pkts_delivered += other.data_pkts_delivered;
+        self.dup_pkts_delivered += other.dup_pkts_delivered;
+        self.bytes_delivered += other.bytes_delivered;
+        self.flows_completed += other.flows_completed;
+        self.flows_failed += other.flows_failed;
+        for (a, b) in self.drops.iter_mut().zip(&other.drops) {
+            *a += b;
+        }
+        self.pfc_pauses += other.pfc_pauses;
+        self.pfc_resumes += other.pfc_resumes;
+        for (a, b) in self.pfc_pause_ns.iter_mut().zip(&other.pfc_pause_ns) {
+            *a += b;
+        }
+        self.max_queue_bytes = self.max_queue_bytes.max(other.max_queue_bytes);
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +134,29 @@ mod tests {
         assert_eq!(s.silent_drops(), 2);
         assert_eq!(s.total_drops(), 3);
         assert_eq!(s.drops[DropCause::AdminDown.idx()], 0);
+    }
+
+    #[test]
+    fn merge_sums_and_high_waters() {
+        let mut a = Stats {
+            events: 10,
+            max_queue_bytes: 100,
+            ..Default::default()
+        };
+        a.drop(DropCause::SilentFault);
+        a.pfc_pause_ns[0] = 5;
+        let mut b = Stats {
+            events: 7,
+            max_queue_bytes: 50,
+            ..Default::default()
+        };
+        b.drop(DropCause::NoRoute);
+        b.pfc_pause_ns[0] = 3;
+        a.merge(&b);
+        assert_eq!(a.events, 17);
+        assert_eq!(a.max_queue_bytes, 100);
+        assert_eq!(a.total_drops(), 2);
+        assert_eq!(a.pfc_pause_ns[0], 8);
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod run;
 
 pub use events::{Event, EventRecord};
 pub use histogram::{HistogramBucket, HistogramExport, LogHistogram};
-pub use manifest::{git_describe, Manifest};
+pub use manifest::{dirt_is_artifacts_only, git_describe, Manifest};
 pub use recorder::{LinkMeta, LinkSample, NullRecorder, Recorder};
 pub use run::{IterSpan, RunRecorder, SampleRow};
 
