@@ -137,6 +137,7 @@ fn bench_window_sync(c: &mut Criterion) {
                         rcfg.clone(),
                         &[],
                         &[],
+                        None,
                     )
                     .stats
                     .events

@@ -125,6 +125,56 @@ fn main() {
             Err(e) => eprintln!("warning: cannot update bench json: {e}"),
         }
     }
+    // `telemetry_overhead`: the identical trial with a full RunRecorder
+    // riding along, written to a scratch dir — the committed trajectory
+    // behind DESIGN.md §7's "≈5% recorder-on, ~0% off" overhead claim.
+    // Full runs only, like `baseline`.
+    if !fp_bench::quick() {
+        let scratch = std::env::temp_dir().join("fp_overhead_headline");
+        let rec = Box::new(
+            fp_telemetry::RunRecorder::new(scratch.clone())
+                .with_interval_ns(fp_telemetry::sample_interval_from_env()),
+        ) as Box<dyn fp_telemetry::Recorder>;
+        let t0 = std::time::Instant::now();
+        let (tel, rec) = run_trial_with(&spec, Some(rec));
+        let tel_wall = (t0.elapsed().as_micros() as u64).max(1);
+        rec.expect("recorder returned")
+            .finish()
+            .expect("write scratch telemetry");
+        assert_eq!(
+            tel.stats.events, r.stats.events,
+            "a riding recorder must not change the run"
+        );
+        if telemetry.is_none() {
+            println!(
+                "telemetry overhead: {tel_wall} us recorder-on vs {wall_us} us off \
+                 ({:+.1}%)",
+                (tel_wall as f64 / wall_us as f64 - 1.0) * 100.0
+            );
+        }
+        match fp_bench::record_bench(&fp_bench::BenchEntry {
+            name: "telemetry_overhead".into(),
+            git: fp_telemetry::git_describe(),
+            scheduler: tel.sched_kind.name().into(),
+            threads: 1,
+            shards: u64::from(tel.shards),
+            shard_events: tel.shard_events.clone(),
+            quick: false,
+            trials: 1,
+            wall_us: tel_wall,
+            events: tel.stats.events,
+            events_per_sec: tel.stats.events as f64 * 1e6 / tel_wall as f64,
+            sched_pushes: tel.sched.pushes,
+            tt_detect_ns: None,
+            tt_mitigate_ns: None,
+            false_mitigations: None,
+        }) {
+            Ok(Some(p)) => println!("[bench telemetry_overhead {}]", p.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: cannot update bench json: {e}"),
+        }
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
     if let Some(dir) = &telemetry {
         fp_bench::campaign_manifest(
             "headline",

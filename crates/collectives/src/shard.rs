@@ -73,6 +73,7 @@ use fp_netsim::stats::Stats;
 use fp_netsim::time::SimTime;
 use fp_netsim::topology::Topology;
 use fp_netsim::trace::TraceRecord;
+use fp_telemetry::{LinkSample, TapRecorder};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cell::RefCell;
@@ -125,6 +126,36 @@ pub struct ShardedOutcome {
     pub install_ns: Option<u64>,
     /// Horizon-sync rounds the run took (perf telemetry).
     pub rounds: u64,
+    /// Merged per-shard telemetry streams, present when the run was asked
+    /// to tap telemetry (`tap_interval` in [`run_sharded`]). The caller
+    /// replays these into its real recorder in unsharded hook order.
+    pub telemetry: Option<ShardTelemetry>,
+}
+
+/// Per-shard recorder streams merged back into the unsharded hook order.
+///
+/// Link samples are tick-major (every sampler grid point from
+/// `interval_ns` to `end_ns`, links ascending within a tick) — exactly
+/// the order an unsharded [`Simulator`]'s sampler emits. FCT / RTO / PFC
+/// observations are concatenated in shard order; they carry no
+/// timestamps and feed order-insensitive histograms, so their exported
+/// bytes match the unsharded run's (see `DESIGN.md` §9 for the exact-tie
+/// residuals).
+#[derive(Clone, Debug)]
+pub struct ShardTelemetry {
+    /// Sampler period the taps ran with (0 = periodic sampler disabled).
+    pub interval_ns: u64,
+    /// `(t_ns, link, sample)` rows, tick-major, links ascending.
+    pub samples: Vec<(u64, u32, LinkSample)>,
+    /// Flow completion times, concatenated in shard order.
+    pub fct_ns: Vec<u64>,
+    /// RTO attempt numbers, concatenated in shard order.
+    pub rto_attempts: Vec<u32>,
+    /// `(prio, pause_ns)` PFC pauses, concatenated in shard order.
+    pub pfc_pause_ns: Vec<(u8, u64)>,
+    /// Where the unsharded clock would stop: the final trailing sampler
+    /// tick when the sampler ran, else the last real event time.
+    pub end_ns: u64,
 }
 
 /// A fault flip armed inside `S_f`'s application: applied once
@@ -316,6 +347,21 @@ struct FinishResp {
     sched: SchedStats,
     artifact_events: u64,
     install_ns: Option<u64>,
+    /// Raw telemetry captured by this shard's tap (when one was attached).
+    tap: Option<Box<TapShard>>,
+    /// Time of the shard's last real (non-sampler) event.
+    last_event_ns: u64,
+}
+
+/// One shard's raw telemetry: the tap's buffers plus the wire-transit log
+/// of boundary packets it sent (for in-flight depth reconstruction).
+struct TapShard {
+    samples: Vec<(u64, u32, LinkSample)>,
+    fct_ns: Vec<u64>,
+    rto_attempts: Vec<u32>,
+    pfc_pause_ns: Vec<(u8, u64)>,
+    /// `(link, send_ns, arrive_ns)` of boundary-crossing packets.
+    wire: Vec<(u32, u64, u64)>,
 }
 
 enum Resp {
@@ -339,6 +385,8 @@ struct ShardSeed {
     measured: MeasuredSubset,
     transfers: Vec<Transfer>,
     children: Vec<Vec<u32>>,
+    /// Attach a telemetry tap sampling at this period (`None` = no tap).
+    tap_interval: Option<u64>,
 }
 
 /// One shard's simulator plus its command loop, shared verbatim between
@@ -360,8 +408,18 @@ impl ShardExec {
             .iter()
             .map(|&l| seed.plan.link_owner(&seed.topo, l) == seed.shard)
             .collect();
+        // Each link is sampled only at its owning shard (the single writer
+        // of its egress state), so merged rows have exactly one producer.
+        let owned_links: Vec<bool> = (0..seed.topo.n_links())
+            .map(|l| seed.plan.link_owner(&seed.topo, LinkId(l as u32)) == seed.shard)
+            .collect();
         let mut sim = Simulator::new(seed.topo, seed.cfg, seed.seed);
         sim.attach_shard(seed.shard, seed.plan);
+        if let Some(interval) = seed.tap_interval {
+            sim.set_recorder(Box::new(
+                TapRecorder::new(interval).with_owned_links(owned_links),
+            ));
+        }
         for (&l, &own) in seed.admin_down.iter().zip(owned.iter()) {
             if own {
                 sim.apply_fault_now(l, FaultAction::Set(FaultKind::AdminDown), false);
@@ -436,6 +494,20 @@ impl ShardExec {
                 })))
             }
             Cmd::Finish => {
+                self.sim.sampler_flush_final();
+                let tap = self.sim.take_recorder().map(|mut rec| {
+                    let t = rec
+                        .as_any_mut()
+                        .and_then(|a| a.downcast_mut::<TapRecorder>())
+                        .expect("shard recorder is always a TapRecorder");
+                    Box::new(TapShard {
+                        samples: std::mem::take(&mut t.samples),
+                        fct_ns: std::mem::take(&mut t.fct_ns),
+                        rto_attempts: std::mem::take(&mut t.rto_attempts),
+                        pfc_pause_ns: std::mem::take(&mut t.pfc_pause_ns),
+                        wire: self.sim.shard_take_wire_log(),
+                    })
+                });
                 let sh = self.shared.borrow();
                 Some(Resp::Finish(Box::new(FinishResp {
                     stats: self.sim.stats.clone(),
@@ -448,6 +520,8 @@ impl ShardExec {
                     sched: self.sim.sched_stats(),
                     artifact_events: sh.artifact_events,
                     install_ns: sh.install_ns,
+                    tap,
+                    last_event_ns: self.sim.last_event_ns(),
                 })))
             }
         }
@@ -559,6 +633,10 @@ impl ShardHandle {
 /// boundaries. All flips must target links owned by one shard (the
 /// caller's eligibility gate guarantees this by rejecting bidirectional
 /// faults).
+///
+/// `tap_interval` attaches a per-shard telemetry tap sampling at that
+/// period (0 = hooks only, no periodic sampler); the merged streams come
+/// back in [`ShardedOutcome::telemetry`] for replay into a real recorder.
 #[allow(clippy::too_many_arguments)]
 pub fn run_sharded(
     topo: &Topology,
@@ -570,6 +648,7 @@ pub fn run_sharded(
     rcfg: RunnerConfig,
     admin_down: &[LinkId],
     faults: &[ShardFault],
+    tap_interval: Option<u64>,
 ) -> ShardedOutcome {
     sched.validate().expect("invalid schedule");
     assert!(rcfg.iterations > 0, "at least one iteration");
@@ -631,6 +710,7 @@ pub fn run_sharded(
                 measured: rcfg.measured.clone(),
                 transfers: sched.transfers.clone(),
                 children: children.clone(),
+                tap_interval,
             };
             if threaded {
                 ShardHandle::threaded(seed_data)
@@ -910,8 +990,12 @@ pub fn run_sharded(
     let mut sched_stats = SchedStats::default();
     let mut shard_events = Vec::with_capacity(n as usize);
     let mut artifacts = 0u64;
+    let mut taps: Vec<Option<Box<TapShard>>> = Vec::with_capacity(n as usize);
+    let mut last_event_ns = 0u64;
     for (s, h) in handles.iter_mut().enumerate() {
-        let f = h.finish();
+        let mut f = h.finish();
+        taps.push(f.tap.take());
+        last_event_ns = last_event_ns.max(f.last_event_ns);
         shard_events.push(f.stats.events);
         artifacts += f.artifact_events;
         if install_ns.is_none() {
@@ -940,6 +1024,14 @@ pub fn run_sharded(
     stats.events -= artifacts;
     trace.sort_by_key(|r| r.t_ns);
 
+    let telemetry = tap_interval.map(|interval_ns| {
+        let taps: Vec<TapShard> = taps
+            .into_iter()
+            .map(|t| *t.expect("tap_interval implies every shard tapped"))
+            .collect();
+        merge_taps(topo, &plan, interval_ns, taps, last_event_ns)
+    });
+
     ShardedOutcome {
         stats,
         counters: counters.expect("at least one shard"),
@@ -953,6 +1045,124 @@ pub fn run_sharded(
         shard_events,
         install_ns,
         rounds,
+        telemetry,
+    }
+}
+
+/// Merge per-shard tap streams into unsharded hook order.
+///
+/// Link samples: every link is sampled by its owning shard, but a shard's
+/// sampler only runs while the shard has local events, so its tick set can
+/// be a subset of the global grid. The merge walks the full grid
+/// (`interval, 2·interval, …, M` where `M` is the first grid point past
+/// the last real event — exactly where an unsharded run's trailing tick
+/// lands), takes the owner's row when that tick fired there, and
+/// otherwise carries the link's previous row forward — an ownerless tick
+/// means the owner was idle, so the link's egress state is unchanged by
+/// construction (single-writer links). Boundary links are the one
+/// exception: their in-flight depth decays at the *receiving* shard, so
+/// it is recomputed at every tick from the sender's wire-transit log
+/// (`send ≤ t < arrive`).
+fn merge_taps(
+    topo: &Topology,
+    plan: &ShardPlan,
+    interval_ns: u64,
+    taps: Vec<TapShard>,
+    last_event_ns: u64,
+) -> ShardTelemetry {
+    let mut fct_ns = Vec::new();
+    let mut rto_attempts = Vec::new();
+    let mut pfc_pause_ns = Vec::new();
+    for t in &taps {
+        fct_ns.extend_from_slice(&t.fct_ns);
+        rto_attempts.extend_from_slice(&t.rto_attempts);
+        pfc_pause_ns.extend_from_slice(&t.pfc_pause_ns);
+    }
+    if interval_ns == 0 {
+        return ShardTelemetry {
+            interval_ns,
+            samples: Vec::new(),
+            fct_ns,
+            rto_attempts,
+            pfc_pause_ns,
+            end_ns: last_event_ns,
+        };
+    }
+
+    let n_links = topo.n_links();
+    // Per-boundary-link wire transit times, for in-flight reconstruction.
+    let mut sends: Vec<Vec<u64>> = vec![Vec::new(); n_links];
+    let mut arrives: Vec<Vec<u64>> = vec![Vec::new(); n_links];
+    for t in &taps {
+        for &(link, send, arrive) in &t.wire {
+            sends[link as usize].push(send);
+            arrives[link as usize].push(arrive);
+        }
+    }
+    for l in 0..n_links {
+        sends[l].sort_unstable();
+        arrives[l].sort_unstable();
+    }
+    let boundary: Vec<bool> = (0..n_links)
+        .map(|l| {
+            let id = LinkId(l as u32);
+            plan.link_owner(topo, id) != plan.link_dst_owner(topo, id)
+        })
+        .collect();
+
+    // The unsharded sampler's final tick: the first grid point strictly
+    // past the last real event (see `Simulator::dispatch`'s Sample arm).
+    let end_ns = (last_event_ns / interval_ns + 1) * interval_ns;
+    let zero = LinkSample {
+        queued_bytes: 0,
+        queued_pkts: 0,
+        inflight_pkts: 0,
+        txed_bytes: 0,
+        paused_mask: 0,
+    };
+    let mut latest: Vec<LinkSample> = vec![zero; n_links];
+    let mut cursors: Vec<std::iter::Peekable<std::slice::Iter<'_, (u64, u32, LinkSample)>>> =
+        taps.iter().map(|t| t.samples.iter().peekable()).collect();
+    let ticks = end_ns / interval_ns;
+    let mut samples = Vec::with_capacity(ticks as usize * n_links);
+    for tick in 1..=ticks {
+        let t = tick * interval_ns;
+        for c in cursors.iter_mut() {
+            while let Some(&&(row_t, link, s)) = c.peek() {
+                debug_assert!(row_t >= t, "tap rows must be tick-major");
+                if row_t > t {
+                    break;
+                }
+                latest[link as usize] = s;
+                c.next();
+            }
+        }
+        for (l, s) in latest.iter().enumerate() {
+            let mut s = *s;
+            if boundary[l] {
+                // In transit at `t`: sent strictly before the tick and
+                // arriving at it or later. Both bounds are strict because
+                // the unsharded sampler's heap entry is pushed a full
+                // interval before the tick, so at equal timestamps it
+                // dispatches *before* same-instant send/arrival events
+                // (lower seq) and sees neither applied yet. Holds while
+                // link latency and serialization stay below the sample
+                // interval (µs-scale wires vs the 100 µs default tick).
+                let sent = sends[l].partition_point(|&v| v < t);
+                let done = arrives[l].partition_point(|&v| v < t);
+                s.inflight_pkts = (sent - done) as u32;
+            }
+            samples.push((t, l as u32, s));
+        }
+    }
+
+    ShardTelemetry {
+        interval_ns,
+        samples,
+        fct_ns,
+        rto_attempts,
+        pfc_pause_ns,
+        end_ns,
     }
 }
 

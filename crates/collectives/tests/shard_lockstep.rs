@@ -169,6 +169,7 @@ fn sharded(sc: &Scenario, shards: u32, threaded: bool) -> Fingerprint {
         sc.rcfg.clone(),
         &sc.admin_down,
         &sc.faults,
+        None,
     );
     Fingerprint {
         stats: stats_fp(&out.stats, sc.seen_exact),

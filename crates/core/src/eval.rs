@@ -129,9 +129,12 @@ pub struct TrialSpec {
     /// many per-shard simulators synchronized with conservative lookahead
     /// (`None` = the `FP_SHARDS` environment override, default 1 =
     /// classic single-simulator execution). Results are byte-identical at
-    /// any shard count; trials that are ineligible for sharding (attached
-    /// recorder or controller, randomized spray, bidirectional fault)
-    /// silently run unsharded.
+    /// any shard count. Trials that are ineligible for sharding (attached
+    /// controller, randomized spray, bidirectional fault — see
+    /// [`shard_ineligibility`]) fall back to unsharded with a stderr
+    /// warning, a `shard_fallback` telemetry milestone, and the reason in
+    /// [`TrialResult::shard_fallback`]. Telemetry recorders ride sharded
+    /// runs via per-shard taps merged back into unsharded hook order.
     #[serde(default)]
     pub shards: Option<u32>,
 }
@@ -315,6 +318,16 @@ pub struct TrialResult {
     /// runs). Sums to more than `stats.events` because boundary
     /// re-injections are counted once per side.
     pub shard_events: Vec<u64>,
+    /// Why a trial that *requested* sharding ran unsharded anyway
+    /// (`None` when sharding was not requested or ran as asked). The same
+    /// reason is printed to stderr and exported as a `shard_fallback`
+    /// telemetry milestone, so the downgrade is never silent.
+    pub shard_fallback: Option<String>,
+    /// Per-iteration counter snapshots of the measured job in scan order —
+    /// the stream a monitor service ingests ([`crate::snapshot`]). The
+    /// final row has `last` set; `fabric` is empty until a feed
+    /// ([`monitord_feed`]) stamps a stream id.
+    pub snapshots: Vec<crate::snapshot::CounterSnapshot>,
 }
 
 // `fp-bench` campaigns fan trials out across worker threads; this fails to
@@ -435,9 +448,38 @@ struct FabricRun {
     shards: u32,
     /// Per-shard dispatched event counts (empty when unsharded).
     shard_events: Vec<u64>,
-    /// The recorder handed back by the simulator (always `None` on the
-    /// sharded path — recorders make a trial ineligible for sharding).
+    /// The recorder handed back by the simulator (unsharded), or the
+    /// caller's recorder refilled from the merged per-shard taps
+    /// (sharded; see [`fp_collectives::shard::ShardTelemetry`]).
     recorder: Option<Box<dyn fp_telemetry::Recorder>>,
+}
+
+/// Why a trial that requests `shards >= 2` must run unsharded, or `None`
+/// when it is eligible. Controllers need a live `&mut Simulator` at every
+/// iteration end; randomized spray policies draw from the per-shard RNG so
+/// packet paths would diverge from the single-simulator run; bidirectional
+/// faults flip two links that may live on different shard owners.
+/// Attached recorders are *not* a reason — sharded runs tap each shard and
+/// merge the streams back into unsharded hook order.
+pub fn shard_ineligibility(spec: &TrialSpec, has_controller: bool) -> Option<String> {
+    if has_controller {
+        return Some("an online controller needs a live single simulator".into());
+    }
+    if !matches!(
+        spec.sim.spray,
+        fp_netsim::spray::SprayPolicy::Adaptive
+            | fp_netsim::spray::SprayPolicy::LeastLoaded
+            | fp_netsim::spray::SprayPolicy::RoundRobin
+    ) {
+        return Some(format!(
+            "spray policy {:?} draws from the per-shard RNG",
+            spec.sim.spray
+        ));
+    }
+    if spec.fault.is_some_and(|f| f.bidirectional) {
+        return Some("bidirectional fault straddles two shard owners".into());
+    }
+    None
 }
 
 /// [`run_trial_with`] plus an optional online [`TrialController`].
@@ -541,26 +583,32 @@ pub fn run_trial_ctl(
     });
 
     // Production fabric: sharded when the spec (or FP_SHARDS) asks for it
-    // and the trial qualifies. Recorders and controllers need a live
-    // `&mut Simulator`, randomized spray draws from the per-shard rng, and
-    // bidirectional faults straddle two link owners — those trials keep
-    // the classic single-simulator path. Either way the analysis below
-    // consumes the same `FabricRun` artifact set, byte-identical between
-    // the two (see `fp_collectives::shard`).
+    // and the trial qualifies. Controllers need a live `&mut Simulator`,
+    // randomized spray draws from the per-shard rng, and bidirectional
+    // faults straddle two link owners — those trials keep the classic
+    // single-simulator path, and the downgrade is surfaced (stderr +
+    // `shard_fallback` milestone + `TrialResult::shard_fallback`) rather
+    // than silent. Recorders no longer disqualify: each shard runs a
+    // `TapRecorder` and the coordinator merges the taps back into
+    // unsharded hook order. Either way the analysis below consumes the
+    // same `FabricRun` artifact set, byte-identical between the two (see
+    // `fp_collectives::shard`).
     let shards = spec
         .shards
         .unwrap_or_else(fp_netsim::shard::shards_from_env)
         .max(1);
-    let eligible = shards >= 2
-        && recorder.is_none()
-        && controller.is_none()
-        && matches!(
-            spec.sim.spray,
-            fp_netsim::spray::SprayPolicy::Adaptive
-                | fp_netsim::spray::SprayPolicy::LeastLoaded
-                | fp_netsim::spray::SprayPolicy::RoundRobin
-        )
-        && spec.fault.is_none_or(|f| !f.bidirectional);
+    let shard_fallback = if shards >= 2 {
+        shard_ineligibility(spec, controller.is_some())
+    } else {
+        None
+    };
+    let eligible = shards >= 2 && shard_fallback.is_none();
+    if let Some(reason) = &shard_fallback {
+        eprintln!(
+            "fp-eval: trial seed={} requested {shards} shards but is ineligible ({reason}); running unsharded",
+            spec.seed
+        );
+    }
 
     let run = if eligible {
         let mut flips: Vec<fp_collectives::shard::ShardFault> = Vec::new();
@@ -580,7 +628,8 @@ pub fn run_trial_ctl(
                 });
             }
         }
-        let out = fp_collectives::shard::run_sharded(
+        let tap_interval = recorder.as_ref().map(|r| r.sample_interval_ns());
+        let mut out = fp_collectives::shard::run_sharded(
             &topo,
             &spec.sim,
             spec.seed,
@@ -590,14 +639,43 @@ pub fn run_trial_ctl(
             rcfg,
             &admin_down,
             &flips,
+            tap_interval,
         );
         install_ns.set(out.install_ns);
-        let end_ns = out
+        let span_end_ns = out
             .iter_spans
             .iter()
             .map(|s| s.end.as_ns())
             .max()
             .unwrap_or(0);
+        // Replay the merged shard telemetry into the caller's recorder in
+        // exactly the unsharded hook order: topology, samples tick-major,
+        // then the order-insensitive payload streams. `end_ns` follows the
+        // unsharded clock (last sampler tick strictly past the last event)
+        // so milestone stamps stay byte-identical.
+        let telemetry = out.telemetry.take();
+        let end_ns = telemetry.as_ref().map(|t| t.end_ns).unwrap_or(span_end_ns);
+        let recorder = recorder.map(|mut rec| {
+            rec.on_topology(&fp_netsim::sim::link_metas(&topo));
+            if let Some(tel) = &telemetry {
+                for (t, link, s) in &tel.samples {
+                    rec.on_link_sample(*t, *link, s);
+                }
+                for &f in &tel.fct_ns {
+                    rec.on_fct_ns(f);
+                }
+                for &a in &tel.rto_attempts {
+                    rec.on_rto_attempt(a);
+                }
+                for &(prio, pause) in &tel.pfc_pause_ns {
+                    rec.on_pfc_pause_ns(prio, pause);
+                }
+            }
+            for s in &out.iter_spans {
+                rec.on_iteration(s.job, s.iter, s.start.as_ns(), s.end.as_ns());
+            }
+            rec
+        });
         FabricRun {
             stats: out.stats,
             counters: out.counters,
@@ -610,7 +688,7 @@ pub fn run_trial_ctl(
             end_ns,
             shards,
             shard_events: out.shard_events,
-            recorder: None,
+            recorder,
         }
     } else {
         let mut sim = Simulator::new(topo.clone(), spec.sim.clone(), spec.seed);
@@ -672,7 +750,8 @@ pub fn run_trial_ctl(
     };
     monitor.scan(&run.counters, true);
 
-    // Collect observations for figure harnesses.
+    // Collect observations for figure harnesses, and the snapshot stream a
+    // monitor service would have ingested iteration by iteration.
     let mut observed = Vec::new();
     let mut observed_by_src = Vec::new();
     for i in run.counters.iters_of(job) {
@@ -680,6 +759,7 @@ pub fn run_trial_ctl(
         observed.push(PortLoads::from_counters(c));
         observed_by_src.push(PortSrcLoads::from_counters(c));
     }
+    let snapshots = crate::snapshot::CounterSnapshot::sequence_from(&run.counters, job);
 
     // Outcomes.
     let fault_iter = spec.fault.map(|f| f.at_iter);
@@ -764,6 +844,15 @@ pub fn run_trial_ctl(
     let mut recorder = run.recorder;
     if let Some(rec) = recorder.as_deref_mut() {
         let end_ns = run.end_ns;
+        if let Some(reason) = &shard_fallback {
+            rec.on_event(
+                0,
+                &fp_telemetry::Event::Milestone {
+                    name: "shard_fallback".into(),
+                    detail: reason.clone(),
+                },
+            );
+        }
         for r in &run.trace {
             rec.on_event(r.t_ns, &r.event.to_telemetry());
         }
@@ -850,8 +939,53 @@ pub fn run_trial_ctl(
         ctrl,
         shards: run.shards,
         shard_events: run.shard_events,
+        shard_fallback,
+        snapshots,
     };
     (result, recorder)
+}
+
+/// Run `specs` on a pool of `threads` workers and stream every trial's
+/// per-iteration [`CounterSnapshot`](crate::snapshot::CounterSnapshot)
+/// sequence into `push` — the feed side of a monitor service
+/// (`fp-monitord` wraps its ingest handle in exactly this closure shape).
+/// Each trial becomes one stream, stamped `fabric-<index>`; snapshots
+/// within a stream arrive in scan order, while concurrent trials
+/// interleave arbitrarily, which is what a service keyed by
+/// `(fabric, job)` must tolerate. Returns the trial results in spec
+/// order, so callers can compare a service's per-stream alarms against
+/// the offline monitor's ([`TrialResult::alarms`]).
+pub fn monitord_feed(
+    specs: &[TrialSpec],
+    threads: usize,
+    push: impl Fn(crate::snapshot::CounterSnapshot) + Sync,
+) -> Vec<TrialResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<TrialResult>>> =
+        specs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let push = &push;
+    let cursor = &cursor;
+    let results_ref = &results;
+    std::thread::scope(|s| {
+        for _ in 0..threads.max(1).min(specs.len().max(1)) {
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let r = run_trial(spec);
+                for snap in &r.snapshots {
+                    let mut snap = snap.clone();
+                    snap.fabric = format!("fabric-{i:03}");
+                    push(snap);
+                }
+                *results_ref[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker finished its trial"))
+        .collect()
 }
 
 /// Binary classification tallies over iterations.
@@ -1087,8 +1221,9 @@ mod tests {
         assert_eq!(r4.iter_max_dev.len(), base.iter_max_dev.len());
     }
 
-    /// Ineligible trials (here: a bidirectional fault) silently fall back
-    /// to the unsharded path instead of diverging or panicking.
+    /// Ineligible trials (here: a bidirectional fault) fall back to the
+    /// unsharded path instead of diverging or panicking, and the downgrade
+    /// reason is surfaced on the result rather than swallowed.
     #[test]
     fn ineligible_sharded_trial_falls_back() {
         let mut spec = small_spec();
@@ -1102,6 +1237,137 @@ mod tests {
         let r = run_trial(&spec);
         assert_eq!(r.shards, 1);
         assert!(r.shard_events.is_empty());
+        let reason = r.shard_fallback.expect("downgrade must carry a reason");
+        assert!(reason.contains("bidirectional"), "reason: {reason}");
+
+        // Eligible runs and non-sharded runs report no fallback.
+        let clean = run_trial(&small_spec());
+        assert!(clean.shard_fallback.is_none());
+        let mut s2 = small_spec();
+        s2.shards = Some(2);
+        let r2 = run_trial(&s2);
+        assert_eq!(r2.shards, 2);
+        assert!(r2.shard_fallback.is_none());
+    }
+
+    /// Tap streams from one trial, unsharded (`shards = None`) vs sharded.
+    type TapStreams = (
+        Vec<(u64, u32, fp_telemetry::LinkSample)>,
+        Vec<u64>,
+        Vec<u32>,
+        Vec<(u8, u64)>,
+    );
+
+    fn recorder_streams(spec: &TrialSpec, shards: Option<u32>, interval: u64) -> TapStreams {
+        let mut spec = spec.clone();
+        spec.shards = shards;
+        let (r, rec) = run_trial_with(
+            &spec,
+            Some(Box::new(fp_telemetry::TapRecorder::new(interval))),
+        );
+        assert_eq!(r.shard_fallback, None);
+        assert_eq!(r.shards, shards.unwrap_or(1), "unexpected fallback");
+        let mut rec = rec.expect("recorder handed back");
+        let t = rec
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<fp_telemetry::TapRecorder>())
+            .expect("tap recorder");
+        (
+            std::mem::take(&mut t.samples),
+            std::mem::take(&mut t.fct_ns),
+            std::mem::take(&mut t.rto_attempts),
+            std::mem::take(&mut t.pfc_pause_ns),
+        )
+    }
+
+    fn drop_fault_spec(seed: u64) -> TrialSpec {
+        let mut spec = small_spec();
+        spec.seed = seed;
+        spec.fault = Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.015 },
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        });
+        spec
+    }
+
+    /// An attached recorder no longer forces the unsharded path: each
+    /// shard runs a tap and the coordinator merges the streams back into
+    /// unsharded hook order. On a tie-free seed every stream matches the
+    /// unsharded recorder byte-for-byte (samples in order; FCT/RTO/PFC as
+    /// multisets — the merge concatenates those in shard order, and they
+    /// only ever feed order-insensitive histograms).
+    #[test]
+    fn sharded_recorder_matches_unsharded_recorder() {
+        let spec = drop_fault_spec(42);
+        let interval = 100_000u64;
+        let base = recorder_streams(&spec, None, interval);
+        assert!(!base.0.is_empty(), "sampler must have ticked");
+        assert!(!base.1.is_empty(), "flows must have completed");
+        let sharded = recorder_streams(&spec, Some(2), interval);
+
+        assert_eq!(sharded.0.len(), base.0.len(), "sample stream lengths");
+        for (i, (s, b)) in sharded.0.iter().zip(base.0.iter()).enumerate() {
+            assert_eq!(
+                format!("{s:?}"),
+                format!("{b:?}"),
+                "first divergent sample at index {i}"
+            );
+        }
+        let sorted_u64 = |mut v: Vec<u64>| {
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted_u64(sharded.1), sorted_u64(base.1), "fct multiset");
+        let mut rto = (sharded.2, base.2);
+        rto.0.sort_unstable();
+        rto.1.sort_unstable();
+        assert_eq!(rto.0, rto.1, "rto multiset");
+        let mut pfc = (sharded.3, base.3);
+        pfc.0.sort_unstable();
+        pfc.1.sort_unstable();
+        assert_eq!(pfc.0, pfc.1, "pfc multiset");
+    }
+
+    /// The exact telemetry residual on a tie-afflicted seed (documented in
+    /// DESIGN.md §9): when two cross-boundary packets arrive at the same
+    /// instant on different ingress links, their injection order — not the
+    /// unsharded causal order — breaks the tie, which can swap egress
+    /// service order and shift a packet by one serialization quantum.
+    /// That shifts `inflight_pkts` at the handful of sample ticks a
+    /// shifted packet straddles; every other sample field, the FCT
+    /// multiset, and all detection verdicts remain identical.
+    #[test]
+    fn sharded_recorder_residual_is_bounded_on_tie_seed() {
+        let spec = drop_fault_spec(2025);
+        let interval = 100_000u64;
+        let base = recorder_streams(&spec, None, interval);
+        let sharded = recorder_streams(&spec, Some(2), interval);
+
+        assert_eq!(sharded.0.len(), base.0.len(), "sample stream lengths");
+        let mut inflight_only_divergences = 0;
+        for (s, b) in sharded.0.iter().zip(base.0.iter()) {
+            let mut masked = *s;
+            masked.2.inflight_pkts = b.2.inflight_pkts;
+            assert_eq!(
+                format!("{masked:?}"),
+                format!("{b:?}"),
+                "residual must be confined to inflight_pkts"
+            );
+            if s.2.inflight_pkts != b.2.inflight_pkts {
+                inflight_only_divergences += 1;
+            }
+        }
+        assert!(
+            inflight_only_divergences <= 8,
+            "residual grew: {inflight_only_divergences} divergent ticks"
+        );
+        let sorted_u64 = |mut v: Vec<u64>| {
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted_u64(sharded.1), sorted_u64(base.1), "fct multiset");
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod localizer;
 pub mod model;
 pub mod monitor;
 pub mod simulated;
+pub mod snapshot;
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -75,13 +76,14 @@ pub mod prelude {
     };
     pub use crate::detector::{Detector, Deviation};
     pub use crate::eval::{
-        roc_curve, run_trial, run_trial_ctl, run_trial_with, CollectiveKind, CtrlAction,
-        CtrlOutcome, CtrlPhase, CtrlSummary, FaultSpec, InjectedFault, ModelKind, Rates, RocPoint,
-        TrialController, TrialResult, TrialSpec,
+        monitord_feed, roc_curve, run_trial, run_trial_ctl, run_trial_with, CollectiveKind,
+        CtrlAction, CtrlOutcome, CtrlPhase, CtrlSummary, FaultSpec, InjectedFault, ModelKind,
+        Rates, RocPoint, TrialController, TrialResult, TrialSpec,
     };
     pub use crate::learned::{LearnedModel, LearnedUpdate};
     pub use crate::localizer::{Localizer, PortVerdict, RingLocalization};
     pub use crate::model::{PortLoads, PortSrcLoads};
     pub use crate::monitor::{Alarm, Monitor};
     pub use crate::simulated::SimulationModel;
+    pub use crate::snapshot::CounterSnapshot;
 }

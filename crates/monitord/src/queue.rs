@@ -1,0 +1,294 @@
+//! Bounded ingestion queue with explicit, counted backpressure.
+//!
+//! Producers (trial feeds, wire transports) push [`CounterSnapshot`]s;
+//! one service worker pops batches. The queue is deliberately a plain
+//! `Mutex<VecDeque>` + two condvars: ingest is dominated by the monitor
+//! scan on the consumer side, so lock-free cleverness would buy nothing,
+//! while the mutex gives exact depth accounting — which *is* the product
+//! here: every time the queue pushes back, the event is counted and
+//! visible in `metrics.jsonl`.
+
+use flowpulse::snapshot::CounterSnapshot;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a producer experiences when the queue is full.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum QueuePolicy {
+    /// Reject the newest snapshot (counted in `dropped`). Lossy: streams
+    /// may miss iterations, which the per-stream monitor tolerates by
+    /// stalling at the gap.
+    Drop,
+    /// Park the producer in bounded timed waits (counted per wait in
+    /// `parked`) until space frees up. Lossless; wakes on a timer even if
+    /// a notify is missed.
+    Park,
+    /// Block the producer on the not-full condvar until space frees up
+    /// (counted once per blocking push in `blocked`). Lossless.
+    Block,
+}
+
+impl QueuePolicy {
+    /// Stable lowercase name, used in metrics and bench row keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueuePolicy::Drop => "drop",
+            QueuePolicy::Park => "park",
+            QueuePolicy::Block => "block",
+        }
+    }
+
+    /// Parse a policy name (as accepted by `FP_MONITORD_POLICY`).
+    pub fn parse(s: &str) -> Option<QueuePolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "drop" => Some(QueuePolicy::Drop),
+            "park" => Some(QueuePolicy::Park),
+            "block" => Some(QueuePolicy::Block),
+            _ => None,
+        }
+    }
+}
+
+/// How long a parked producer sleeps between capacity re-checks.
+const PARK_BACKOFF: Duration = Duration::from_micros(200);
+
+/// One queued snapshot, stamped at enqueue so the service can report
+/// queue-wait latency.
+pub(crate) struct Item {
+    pub enqueued: Instant,
+    pub snap: CounterSnapshot,
+}
+
+struct State {
+    q: VecDeque<Item>,
+    closed: bool,
+}
+
+/// Monotonic backpressure counters, readable at any time.
+#[derive(Copy, Clone, Default, Debug)]
+pub struct QueueStats {
+    /// Push attempts.
+    pub offered: u64,
+    /// Snapshots that entered the queue.
+    pub accepted: u64,
+    /// Snapshots rejected (full under [`QueuePolicy::Drop`], or pushed
+    /// after close).
+    pub dropped: u64,
+    /// Timed waits taken by parked producers.
+    pub parked: u64,
+    /// Pushes that had to block at least once.
+    pub blocked: u64,
+}
+
+/// The bounded snapshot queue shared between producers and the service
+/// worker.
+pub struct IngestQueue {
+    state: Mutex<State>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+    policy: QueuePolicy,
+    offered: AtomicU64,
+    accepted: AtomicU64,
+    dropped: AtomicU64,
+    parked: AtomicU64,
+    blocked: AtomicU64,
+}
+
+impl IngestQueue {
+    /// A queue holding at most `cap` snapshots, applying `policy` when
+    /// full.
+    pub fn new(cap: usize, policy: QueuePolicy) -> Self {
+        IngestQueue {
+            state: Mutex::new(State {
+                q: VecDeque::with_capacity(cap.min(4096)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+            policy,
+            offered: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            parked: AtomicU64::new(0),
+            blocked: AtomicU64::new(0),
+        }
+    }
+
+    /// The policy this queue was built with.
+    pub fn policy(&self) -> QueuePolicy {
+        self.policy
+    }
+
+    /// Offer one snapshot. Returns `false` if it was dropped (full under
+    /// the drop policy, or the queue is closed); `Park`/`Block` producers
+    /// only ever see `false` after [`close`](Self::close).
+    pub fn push(&self, snap: CounterSnapshot) -> bool {
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap();
+        if st.q.len() >= self.cap && !st.closed {
+            match self.policy {
+                QueuePolicy::Drop => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                QueuePolicy::Block => {
+                    self.blocked.fetch_add(1, Ordering::Relaxed);
+                    while st.q.len() >= self.cap && !st.closed {
+                        st = self.not_full.wait(st).unwrap();
+                    }
+                }
+                QueuePolicy::Park => {
+                    while st.q.len() >= self.cap && !st.closed {
+                        self.parked.fetch_add(1, Ordering::Relaxed);
+                        st = self.not_full.wait_timeout(st, PARK_BACKOFF).unwrap().0;
+                    }
+                }
+            }
+        }
+        if st.closed {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        st.q.push_back(Item {
+            enqueued: Instant::now(),
+            snap,
+        });
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Take up to `max` snapshots, blocking while the queue is empty and
+    /// open. Returns the batch plus the depth left behind, or `None` once
+    /// the queue is closed *and* drained — the worker's shutdown signal.
+    pub(crate) fn pop_batch(&self, max: usize) -> Option<(Vec<Item>, usize)> {
+        let mut st = self.state.lock().unwrap();
+        while st.q.is_empty() && !st.closed {
+            st = self.not_empty.wait(st).unwrap();
+        }
+        if st.q.is_empty() {
+            return None;
+        }
+        let n = st.q.len().min(max.max(1));
+        let batch: Vec<Item> = st.q.drain(..n).collect();
+        let depth = st.q.len();
+        drop(st);
+        self.not_full.notify_all();
+        Some((batch, depth))
+    }
+
+    /// Close the queue: subsequent pushes fail, parked/blocked producers
+    /// wake and give up, and the worker drains what is left then exits.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Snapshots currently enqueued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().q.len()
+    }
+
+    /// Current backpressure counters.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            offered: self.offered.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            parked: self.parked.load(Ordering::Relaxed),
+            blocked: self.blocked.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn snap(iter: u32) -> CounterSnapshot {
+        CounterSnapshot {
+            fabric: "f".into(),
+            job: 1,
+            iter,
+            n_leaves: 1,
+            n_vspines: 1,
+            t_ns: iter as u64,
+            bytes: vec![1],
+            last: false,
+        }
+    }
+
+    #[test]
+    fn drop_policy_rejects_when_full_and_counts() {
+        let q = IngestQueue::new(2, QueuePolicy::Drop);
+        assert!(q.push(snap(0)));
+        assert!(q.push(snap(1)));
+        assert!(!q.push(snap(2)));
+        let s = q.stats();
+        assert_eq!((s.offered, s.accepted, s.dropped), (3, 2, 1));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn block_policy_is_lossless_under_contention() {
+        let q = Arc::new(IngestQueue::new(2, QueuePolicy::Block));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                while let Some((batch, _)) = q.pop_batch(1) {
+                    seen += batch.len() as u64;
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                seen
+            })
+        };
+        for i in 0..64 {
+            assert!(q.push(snap(i)));
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), 64);
+        let s = q.stats();
+        assert_eq!(s.dropped, 0);
+        assert!(s.blocked > 0, "tiny queue must have pushed back");
+    }
+
+    #[test]
+    fn park_policy_is_lossless_and_counts_waits() {
+        let q = Arc::new(IngestQueue::new(1, QueuePolicy::Park));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                while let Some((batch, _)) = q.pop_batch(8) {
+                    seen += batch.len() as u64;
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+                seen
+            })
+        };
+        for i in 0..16 {
+            assert!(q.push(snap(i)));
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), 16);
+        let s = q.stats();
+        assert_eq!(s.dropped, 0);
+        assert!(s.parked > 0);
+    }
+
+    #[test]
+    fn push_after_close_fails() {
+        let q = IngestQueue::new(4, QueuePolicy::Block);
+        q.close();
+        assert!(!q.push(snap(0)));
+        assert_eq!(q.stats().dropped, 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Newline-delimited-JSON transport: one [`CounterSnapshot`] per line.
+//!
+//! [`feed_lines`] pumps any `BufRead` (stdin, a pipe, a socket stream)
+//! into a service's [`IngestHandle`]; [`serve_unix`] accepts connections
+//! on a Unix-domain socket and pumps each one. Malformed lines are
+//! counted and skipped rather than killing the stream — a service that
+//! dies on one bad producer line is not a service.
+
+use crate::service::IngestHandle;
+use flowpulse::snapshot::CounterSnapshot;
+use std::io::BufRead;
+
+/// What a transport saw while pumping lines.
+#[derive(Copy, Clone, Default, Debug)]
+pub struct WireStats {
+    /// Non-empty lines read.
+    pub lines: u64,
+    /// Lines that failed to parse as a snapshot (skipped).
+    pub malformed: u64,
+    /// Well-formed snapshots the queue rejected (drop policy / closed).
+    pub rejected: u64,
+}
+
+/// Serialize one snapshot as a wire line (no trailing newline).
+pub fn snapshot_line(s: &CounterSnapshot) -> String {
+    serde_json::to_string(s).expect("snapshot serializes")
+}
+
+/// Pump newline-delimited snapshots from `reader` into `handle` until
+/// EOF. Empty lines are ignored; malformed lines are counted and logged
+/// to stderr (first few only).
+pub fn feed_lines<R: BufRead>(reader: R, handle: &IngestHandle) -> std::io::Result<WireStats> {
+    let mut stats = WireStats::default();
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        stats.lines += 1;
+        match serde_json::from_str::<CounterSnapshot>(t) {
+            Ok(snap) => {
+                if !handle.push(snap) {
+                    stats.rejected += 1;
+                }
+            }
+            Err(e) => {
+                stats.malformed += 1;
+                if stats.malformed <= 3 {
+                    eprintln!("fp-monitord: skipping malformed line: {e}");
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Accept connections on a Unix-domain socket and pump each one through
+/// [`feed_lines`]. Connections are served sequentially — producers that
+/// need concurrency multiplex snapshots onto one connection (lines are
+/// self-describing, so interleaving streams on a single pipe is the
+/// normal case). Stops after `max_conns` connections when given (tests,
+/// bounded demos); serves forever otherwise.
+#[cfg(unix)]
+pub fn serve_unix(
+    listener: &std::os::unix::net::UnixListener,
+    handle: &IngestHandle,
+    max_conns: Option<u64>,
+) -> std::io::Result<WireStats> {
+    let mut total = WireStats::default();
+    for (served, conn) in listener.incoming().enumerate() {
+        let conn = conn?;
+        let s = feed_lines(std::io::BufReader::new(conn), handle)?;
+        total.lines += s.lines;
+        total.malformed += s.malformed;
+        total.rejected += s.rejected;
+        if max_conns.is_some_and(|m| served as u64 + 1 >= m) {
+            break;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Monitord, ServiceConfig};
+
+    fn snaps(fabric: &str) -> Vec<CounterSnapshot> {
+        (0..3u32)
+            .map(|i| CounterSnapshot {
+                fabric: fabric.into(),
+                job: 1,
+                iter: i,
+                n_leaves: 2,
+                n_vspines: 2,
+                t_ns: 100 * u64::from(i),
+                bytes: if i == 2 {
+                    vec![900, 1000, 1000, 1000]
+                } else {
+                    vec![1000, 1000, 1000, 1000]
+                },
+                last: i == 2,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ndjson_feed_round_trips_and_skips_garbage() {
+        let svc = Monitord::spawn(ServiceConfig::default());
+        let mut wire = String::new();
+        for s in snaps("pipe-0") {
+            wire.push_str(&snapshot_line(&s));
+            wire.push('\n');
+        }
+        wire.push_str("{not json}\n\n");
+        let stats = feed_lines(wire.as_bytes(), &svc.handle()).unwrap();
+        assert_eq!((stats.lines, stats.malformed, stats.rejected), (4, 1, 0));
+        let report = svc.shutdown();
+        assert_eq!(report.streams.len(), 1);
+        assert_eq!(report.streams[0].fabric, "pipe-0");
+        assert_eq!(report.streams[0].snapshots, 3);
+        assert_eq!(report.streams[0].alarms.len(), 1, "iter-2 dip must alarm");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_transport_delivers_snapshots() {
+        use std::io::Write;
+        let dir = std::env::temp_dir().join(format!("fp-monitord-sock-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("monitord.sock");
+        let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+
+        let svc = Monitord::spawn(ServiceConfig::default());
+        let handle = svc.handle();
+        let client = {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut c = std::os::unix::net::UnixStream::connect(&path).unwrap();
+                for s in snaps("sock-0") {
+                    writeln!(c, "{}", snapshot_line(&s)).unwrap();
+                }
+            })
+        };
+        let stats = serve_unix(&listener, &handle, Some(1)).unwrap();
+        client.join().unwrap();
+        assert_eq!(stats.lines, 3);
+        let report = svc.shutdown();
+        assert_eq!(report.streams[0].fabric, "sock-0");
+        assert!(report.streams[0].closed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

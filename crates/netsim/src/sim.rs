@@ -201,6 +201,12 @@ struct ShardCtx {
     next_global: FlowId,
     /// Boundary-crossing traffic emitted this window.
     outbox: ShardOutbox,
+    /// Wire-transit log of boundary-crossing packets this shard sent:
+    /// `(link, send_ns, arrive_ns)`. Boundary links never touch the
+    /// sender's `LinkState::inflight` (delivery happens at the receiving
+    /// shard), so the telemetry merge recomputes their in-flight depth
+    /// from this log. Only populated while a recorder is attached.
+    wire_log: Vec<(u32, u64, u64)>,
 }
 
 /// The packet-level fat-tree simulator.
@@ -247,6 +253,18 @@ pub struct Simulator {
     applied_controls: Vec<AppliedControl>,
     iter_spans: Vec<IterSpanRecord>,
     recorder: Option<Box<dyn Recorder>>,
+    /// Absolute time of the next sampler tick (0 = no periodic sampler).
+    /// Unsharded sims drive the sampler through a self-rescheduling heap
+    /// event; sharded sims sample lazily at grid points inside
+    /// [`Simulator::run_window`] so the sampler never occupies the heap,
+    /// never consumes a sequence number, and never widens
+    /// [`Simulator::next_event_time`] — the window schedule (and therefore
+    /// every tie-break) is byte-identical to a recorder-free run.
+    next_sample_ns: u64,
+    /// Time of the last dispatched non-sampler event (sharded telemetry
+    /// uses the cross-shard max to place the final sampler tick exactly
+    /// where an unsharded run would).
+    last_event_ns: u64,
     scratch_cands: Vec<LinkId>,
     scratch_loads: Vec<u64>,
     /// Sharded-run state; `None` (the default) on ordinary simulators.
@@ -335,6 +353,8 @@ impl Simulator {
             applied_controls: Vec::new(),
             iter_spans: Vec::new(),
             recorder: None,
+            next_sample_ns: 0,
+            last_event_ns: 0,
             scratch_cands: Vec::new(),
             scratch_loads: Vec::new(),
             shard: None,
@@ -381,24 +401,71 @@ impl Simulator {
     /// and no sampler events exist, so runs are byte-identical to a build
     /// without telemetry.
     pub fn set_recorder(&mut self, mut rec: Box<dyn Recorder>) {
-        let metas: Vec<LinkMeta> = self
-            .topo
-            .links
-            .iter()
-            .enumerate()
-            .map(|(i, l)| LinkMeta {
-                id: i as u32,
-                name: format!("{}->{}", node_label(l.src), node_label(l.dst)),
-                bytes_per_sec: l.bandwidth.bps() / 8,
-            })
-            .collect();
-        rec.on_topology(&metas);
+        rec.on_topology(&link_metas(&self.topo));
         let interval = rec.sample_interval_ns();
         self.recorder = Some(rec);
         if interval > 0 {
-            self.heap
-                .push(self.now + SimDuration::from_ns(interval), EventKind::Sample);
+            let at = self.now + SimDuration::from_ns(interval);
+            self.next_sample_ns = at.as_ns();
+            // Sharded sims sample lazily in `run_window` instead — a heap
+            // entry would consume sequence numbers and stretch
+            // `next_event_time`, perturbing the coordinator's window
+            // schedule away from the recorder-free run.
+            if self.shard.is_none() {
+                self.heap.push(at, EventKind::Sample);
+            }
         }
+    }
+
+    /// Emit sampler rows for every grid point at or before `t` (the next
+    /// event due in this window). Sampling at `g == t` *before* the event
+    /// dispatches mirrors the unsharded tie order, where the sampler's heap
+    /// entry — pushed a full interval earlier — carries the lower sequence
+    /// number. Only meaningful on sharded sims; unsharded sampling rides
+    /// the self-rescheduling `Sample` heap event.
+    fn sample_up_to(&mut self, t: SimTime) {
+        if self.recorder.is_none() || self.next_sample_ns == 0 {
+            return;
+        }
+        let interval = self
+            .recorder
+            .as_ref()
+            .map(|r| r.sample_interval_ns())
+            .unwrap_or(0);
+        if interval == 0 {
+            return;
+        }
+        while self.next_sample_ns <= t.as_ns() {
+            let at = SimTime::from_ns(self.next_sample_ns);
+            debug_assert!(at >= self.now, "sampler grid fell behind the clock");
+            self.now = at;
+            self.sample_links();
+            self.next_sample_ns += interval;
+        }
+    }
+
+    /// Emit the sharded sampler's final row set: one tick at the first
+    /// grid point strictly past the shard's last local event, capturing
+    /// its drained state. Lazy window sampling only fires ahead of a due
+    /// event, so without this flush the post-drain state (empty queues,
+    /// final `txed_bytes`) would never be observed — while the unsharded
+    /// sampler's trailing tick observes exactly that. Ticks beyond this
+    /// one are reconstructed by carry-forward in the telemetry merge (the
+    /// shard's links can no longer change). Called by the shard executor
+    /// at `Finish`, after the last window has run.
+    pub fn sampler_flush_final(&mut self) {
+        if self.recorder.is_none() || self.next_sample_ns == 0 {
+            return;
+        }
+        let at = SimTime::from_ns(self.next_sample_ns);
+        debug_assert!(at >= self.now, "sampler grid fell behind the clock");
+        self.now = at;
+        self.sample_links();
+        self.next_sample_ns += self
+            .recorder
+            .as_ref()
+            .map(|r| r.sample_interval_ns())
+            .unwrap_or(0);
     }
 
     /// Detach and return the recorder (for post-run export and flushing).
@@ -409,6 +476,13 @@ impl Simulator {
     /// True if a telemetry recorder is attached.
     pub fn has_recorder(&self) -> bool {
         self.recorder.is_some()
+    }
+
+    /// Time of the last dispatched non-sampler event, nanoseconds (0 if
+    /// nothing ran yet). Sampler ticks are excluded, so this is the time
+    /// an unsharded run's final trailing tick is derived from.
+    pub fn last_event_ns(&self) -> u64 {
+        self.last_event_ns
     }
 
     /// Report a completed collective iteration span. Always appended to the
@@ -757,6 +831,7 @@ impl Simulator {
             fid_map: HashMap::new(),
             next_global: shard,
             outbox: ShardOutbox::default(),
+            wire_log: Vec::new(),
         }));
     }
 
@@ -774,11 +849,16 @@ impl Simulator {
         self.start_app_if_needed();
         let start_events = self.stats.events;
         loop {
-            let from_front = match self.next_due() {
+            let (t, from_front) = match self.next_due() {
                 None => break,
                 Some((t, _)) if t >= end => break,
-                Some((_, ff)) => ff,
+                Some(due) => due,
             };
+            // Emit sampler rows for grid points passed by this event (and
+            // for a grid point *at* it, before it dispatches) — sharded
+            // sims keep the sampler out of the heap so the window schedule
+            // matches a recorder-free run; see `sample_up_to`.
+            self.sample_up_to(t);
             if from_front {
                 self.deliver_front();
             } else {
@@ -851,6 +931,19 @@ impl Simulator {
             "mirror at a non-owned host"
         );
         c.fid_map.insert(open.global, id);
+    }
+
+    /// Drain the wire-transit log of boundary-crossing packets this shard
+    /// sent: `(link, send_ns, arrive_ns)` in send order. Empty unless a
+    /// recorder was attached (see `ShardCtx::wire_log`).
+    pub fn shard_take_wire_log(&mut self) -> Vec<(u32, u64, u64)> {
+        std::mem::take(
+            &mut self
+                .shard
+                .as_mut()
+                .expect("unsharded sim has no wire log")
+                .wire_log,
+        )
     }
 
     /// Drain the boundary-crossing traffic emitted since the last drain.
@@ -988,6 +1081,7 @@ impl Simulator {
         self.in_flight_pkts -= 1;
         debug_assert!(f.at >= self.now, "time went backwards");
         self.now = f.at;
+        self.last_event_ns = f.at.as_ns();
         self.stats.events += 1;
         self.stats.pipeline_deliveries += 1;
         self.handle_delivery(head.link, head.pkt);
@@ -1014,21 +1108,23 @@ impl Simulator {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.sample_links();
-            if !self.heap.is_empty() || !self.front.is_empty() {
-                if let Some(interval) = self
-                    .recorder
-                    .as_ref()
-                    .map(|r| r.sample_interval_ns())
-                    .filter(|&i| i > 0)
-                {
-                    self.heap
-                        .push(at + SimDuration::from_ns(interval), EventKind::Sample);
+            if let Some(interval) = self
+                .recorder
+                .as_ref()
+                .map(|r| r.sample_interval_ns())
+                .filter(|&i| i > 0)
+            {
+                let next = at + SimDuration::from_ns(interval);
+                self.next_sample_ns = next.as_ns();
+                if !self.heap.is_empty() || !self.front.is_empty() {
+                    self.heap.push(next, EventKind::Sample);
                 }
             }
             return;
         }
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        self.last_event_ns = at.as_ns();
         self.stats.events += 1;
         match kind {
             EventKind::TxDone { link } => self.handle_tx_done(link),
@@ -1284,12 +1380,13 @@ impl Simulator {
             // plan's lookahead, so the arrival always lands in a later
             // window.
             let at = self.now + self.topo.links[link.idx()].latency;
-            self.shard
-                .as_mut()
-                .expect("checked above")
-                .outbox
-                .pkts
-                .push(RemotePkt { at, link, pkt });
+            let now_ns = self.now.as_ns();
+            let has_rec = self.recorder.is_some();
+            let c = self.shard.as_mut().expect("checked above");
+            if has_rec {
+                c.wire_log.push((link.idx() as u32, now_ns, at.as_ns()));
+            }
+            c.outbox.pkts.push(RemotePkt { at, link, pkt });
         } else {
             // Pipe insert — the surviving packet goes on the wire. A
             // sequence number is reserved here, exactly where the old
@@ -1810,6 +1907,22 @@ fn node_label(n: NodeId) -> String {
         NodeId::Host(h) => format!("host{}", h.0),
         NodeId::Switch(s) => format!("sw{}", s.0),
     }
+}
+
+/// The telemetry link descriptions for a topology — what
+/// [`Simulator::set_recorder`] hands to [`Recorder::on_topology`]. Public
+/// so the sharded-telemetry replay path can describe the fabric to the
+/// user's recorder without building a simulator.
+pub fn link_metas(topo: &Topology) -> Vec<LinkMeta> {
+    topo.links
+        .iter()
+        .enumerate()
+        .map(|(i, l)| LinkMeta {
+            id: i as u32,
+            name: format!("{}->{}", node_label(l.src), node_label(l.dst)),
+            bytes_per_sec: l.bandwidth.bps() / 8,
+        })
+        .collect()
 }
 
 #[cfg(test)]

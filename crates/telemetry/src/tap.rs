@@ -1,0 +1,124 @@
+//! [`TapRecorder`]: an in-memory recorder that buffers raw hook payloads
+//! for later replay into another recorder.
+//!
+//! The shard coordinator attaches one tap per shard simulator; after the
+//! run it downcasts each tap back out (via [`Recorder::as_any_mut`]),
+//! merges the per-shard streams into the unsharded hook order, and replays
+//! them into the user's real recorder. The tap therefore stores payloads
+//! verbatim — no aggregation, no formatting — and can filter link samples
+//! to an ownership mask so each link is sampled by exactly one shard.
+
+use crate::recorder::{LinkSample, Recorder};
+
+/// A buffering [`Recorder`] that captures raw hook payloads.
+#[derive(Clone, Debug, Default)]
+pub struct TapRecorder {
+    interval_ns: u64,
+    /// When non-empty, only links with `owned[link]` keep their samples
+    /// (out-of-range ids are dropped). Empty = keep everything.
+    owned: Vec<bool>,
+    /// `(t_ns, link, sample)` in arrival order (tick-major, link ascending
+    /// within a tick — the engine's sampler order).
+    pub samples: Vec<(u64, u32, LinkSample)>,
+    /// Flow completion times, in arrival order.
+    pub fct_ns: Vec<u64>,
+    /// RTO attempt numbers, in arrival order.
+    pub rto_attempts: Vec<u32>,
+    /// `(prio, pause_ns)` PFC pause intervals, in arrival order.
+    pub pfc_pause_ns: Vec<(u8, u64)>,
+}
+
+impl TapRecorder {
+    /// A tap sampling every `interval_ns` (0 disables the periodic
+    /// sampler but still captures FCT/RTO/PFC observations).
+    pub fn new(interval_ns: u64) -> Self {
+        TapRecorder {
+            interval_ns,
+            ..Default::default()
+        }
+    }
+
+    /// Keep link samples only for links with `owned[link] == true`.
+    pub fn with_owned_links(mut self, owned: Vec<bool>) -> Self {
+        self.owned = owned;
+        self
+    }
+}
+
+impl Recorder for TapRecorder {
+    fn sample_interval_ns(&self) -> u64 {
+        self.interval_ns
+    }
+
+    fn on_link_sample(&mut self, t_ns: u64, link: u32, sample: &LinkSample) {
+        if !self.owned.is_empty() && !self.owned.get(link as usize).copied().unwrap_or(false) {
+            return;
+        }
+        self.samples.push((t_ns, link, *sample));
+    }
+
+    fn on_fct_ns(&mut self, fct_ns: u64) {
+        self.fct_ns.push(fct_ns);
+    }
+
+    fn on_rto_attempt(&mut self, attempt: u32) {
+        self.rto_attempts.push(attempt);
+    }
+
+    fn on_pfc_pause_ns(&mut self, prio: u8, pause_ns: u64) {
+        self.pfc_pause_ns.push((prio, pause_ns));
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(txed: u64) -> LinkSample {
+        LinkSample {
+            queued_bytes: 0,
+            queued_pkts: 0,
+            inflight_pkts: 0,
+            txed_bytes: txed,
+            paused_mask: 0,
+        }
+    }
+
+    #[test]
+    fn tap_buffers_payloads_verbatim() {
+        let mut t = TapRecorder::new(100);
+        assert_eq!(t.sample_interval_ns(), 100);
+        t.on_link_sample(100, 0, &sample(7));
+        t.on_fct_ns(42);
+        t.on_rto_attempt(1);
+        t.on_pfc_pause_ns(3, 900);
+        assert_eq!(t.samples, vec![(100, 0, sample(7))]);
+        assert_eq!(t.fct_ns, vec![42]);
+        assert_eq!(t.rto_attempts, vec![1]);
+        assert_eq!(t.pfc_pause_ns, vec![(3, 900)]);
+    }
+
+    #[test]
+    fn ownership_mask_filters_links() {
+        let mut t = TapRecorder::new(100).with_owned_links(vec![false, true]);
+        t.on_link_sample(100, 0, &sample(1));
+        t.on_link_sample(100, 1, &sample(2));
+        t.on_link_sample(100, 9, &sample(3)); // out of range: dropped
+        assert_eq!(t.samples, vec![(100, 1, sample(2))]);
+    }
+
+    #[test]
+    fn tap_downcasts_through_dyn_recorder() {
+        let mut boxed: Box<dyn Recorder> = Box::new(TapRecorder::new(5));
+        boxed.on_fct_ns(11);
+        let tap = boxed
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<TapRecorder>())
+            .expect("tap downcasts");
+        assert_eq!(tap.fct_ns, vec![11]);
+    }
+}

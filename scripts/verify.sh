@@ -67,8 +67,10 @@ d = json.load(open("BENCH_netsim.json"))
 required = ["name", "git", "scheduler", "threads", "shards", "shard_events",
             "quick", "trials", "wall_us", "events", "events_per_sec",
             "sched_pushes"]
-for name in ("headline", "baseline", "mitigation",
-             "shards1", "shards2", "shards4", "shards8"):
+for name in ("headline", "baseline", "telemetry_overhead", "mitigation",
+             "shards1", "shards2", "shards4", "shards8",
+             "monitord32_block", "monitord64_block",
+             "monitord32_drop", "monitord32_park"):
     e = d.get(name)
     if e is None:
         sys.exit(f"BENCH_netsim.json: missing entry '{name}'")
@@ -89,7 +91,12 @@ if missing:
     sys.exit(f"BENCH_netsim.json[mitigation]: closed-loop keys null/missing: {missing}")
 if m["false_mitigations"] != 0:
     sys.exit(f"BENCH_netsim.json[mitigation]: {m['false_mitigations']} false mitigations")
-print("    headline + baseline + mitigation entries carry all required keys")
+mb = d["monitord32_block"]
+if mb["events"] != mb["sched_pushes"]:
+    sys.exit("BENCH_netsim.json[monitord32_block]: blocking policy lost "
+             f"snapshots ({mb['events']} processed of {mb['sched_pushes']} offered)")
+print("    headline + baseline + overhead + mitigation + monitord entries "
+      "carry all required keys")
 EOF
 
 echo "==> perf smoke (warn-only): quick headline vs committed BENCH_netsim.json"
@@ -160,5 +167,51 @@ print(f"    perf canary (warn-only): FP_SHARDS=2 {sh['events_per_sec']/1e6:.2f} 
       "< 1x expected on hosts without spare cores)")
 EOF
 echo "    headline: FP_SHARDS=4 verdicts identical (deviation fields warn-only)"
+
+echo "==> monitord smoke: quick E10 sweep through the live service"
+tm1="$(mktemp -d)"
+tm4="$(mktemp -d)"
+trap 'rm -rf "$t1" "$t4" "$tt" "$th" "$pb" "$ts" "$tm1" "$tm4"' EXIT
+# The sweep itself asserts zero drops + all streams closed under the
+# blocking policy; verify.sh additionally checks the metrics.jsonl schema
+# and that per-stream verdicts are byte-identical across producer thread
+# counts (and hence match the offline monitor — the sweep's alarm JSON is
+# derived from the same incremental-scan state the byte-identity unit
+# test pins against run_trial).
+FP_QUICK=1 FP_THREADS=1 FP_RESULTS="$tm1" \
+    cargo run --release -q -p fp-bench --bin monitord_sweep >/dev/null
+FP_QUICK=1 FP_THREADS=4 FP_RESULTS="$tm4" \
+    cargo run --release -q -p fp-bench --bin monitord_sweep >/dev/null
+cmp "$tm1/monitord_alarms.json" "$tm4/monitord_alarms.json"
+echo "    monitord_alarms.json byte-identical across producer thread counts"
+python3 - "$tm4" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+for policy in ("block", "drop", "park"):
+    path = os.path.join(d, f"monitord_metrics_monitord32_{policy}.jsonl")
+    lines = [json.loads(l) for l in open(path) if l.strip()]
+    if not lines:
+        sys.exit(f"{path}: no metrics emitted")
+    for i, m in enumerate(lines):
+        for k in ("seq", "uptime_us", "counters", "gauges", "histograms"):
+            if k not in m:
+                sys.exit(f"{path}:{i}: missing key '{k}'")
+    final = lines[-1]
+    for c in ("ingest_offered", "ingest_accepted", "ingest_dropped",
+              "snapshots_processed", "streams_closed"):
+        if c not in final["counters"]:
+            sys.exit(f"{path}: final line missing counter '{c}'")
+    for h in ("batch_size", "queue_depth_at_batch", "queue_wait_ns",
+              "scan_latency_ns", "verdict_latency_ns"):
+        if h not in final["histograms"]:
+            sys.exit(f"{path}: final line missing histogram '{h}'")
+        b = final["histograms"][h]
+        if b["count"] and sum(x["count"] for x in b["buckets"]) != b["count"]:
+            sys.exit(f"{path}: histogram '{h}' bucket counts != count")
+    if policy != "drop" and final["counters"]["ingest_dropped"] != 0:
+        sys.exit(f"{path}: lossless policy '{policy}' dropped snapshots")
+print("    metrics.jsonl schema valid for block/drop/park; "
+      "lossless policies report zero drops")
+EOF
 
 echo "verify: OK"
