@@ -48,6 +48,13 @@ pub struct BenchEntry {
     /// scheduler, so this tracks how much traffic the wheel/heap actually
     /// absorbs — the number the link-pipeline work drives down.
     pub sched_pushes: u64,
+    /// Iteration spans fast-forwarded by temporal-symmetry memoization
+    /// (`FP_MEMO`), summed across trials. 0 when memoization was off or
+    /// never converged.
+    pub memo_hits: u64,
+    /// Engine events accounted for by replayed spans (already included in
+    /// `events`), summed across trials.
+    pub memo_replayed_events: u64,
     /// Mean time-to-detect across controller-enabled faulty trials,
     /// nanoseconds of simulated time. `None` for controller-less campaigns.
     pub tt_detect_ns: Option<u64>,
@@ -155,6 +162,8 @@ mod tests {
             events: 5_000_000,
             events_per_sec: eps,
             sched_pushes: 2_500_000,
+            memo_hits: 0,
+            memo_replayed_events: 0,
             tt_detect_ns: Some(1_000),
             tt_mitigate_ns: Some(51_000),
             false_mitigations: Some(0),
@@ -206,6 +215,8 @@ mod tests {
             "events",
             "events_per_sec",
             "sched_pushes",
+            "memo_hits",
+            "memo_replayed_events",
             "tt_detect_ns",
             "tt_mitigate_ns",
             "false_mitigations",

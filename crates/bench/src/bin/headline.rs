@@ -81,6 +81,8 @@ fn main() {
         events: r.stats.events,
         events_per_sec: r.stats.events as f64 * 1e6 / wall_us as f64,
         sched_pushes: r.sched.pushes,
+        memo_hits: r.memo_hits,
+        memo_replayed_events: r.memo_replayed_events,
         tt_detect_ns: None,
         tt_mitigate_ns: None,
         false_mitigations: None,
@@ -116,6 +118,8 @@ fn main() {
             events: base.stats.events,
             events_per_sec: base.stats.events as f64 * 1e6 / base_wall as f64,
             sched_pushes: base.sched.pushes,
+            memo_hits: base.memo_hits,
+            memo_replayed_events: base.memo_replayed_events,
             tt_detect_ns: None,
             tt_mitigate_ns: None,
             false_mitigations: None,
@@ -165,6 +169,8 @@ fn main() {
             events: tel.stats.events,
             events_per_sec: tel.stats.events as f64 * 1e6 / tel_wall as f64,
             sched_pushes: tel.sched.pushes,
+            memo_hits: tel.memo_hits,
+            memo_replayed_events: tel.memo_replayed_events,
             tt_detect_ns: None,
             tt_mitigate_ns: None,
             false_mitigations: None,
@@ -174,6 +180,71 @@ fn main() {
             Err(e) => eprintln!("warning: cannot update bench json: {e}"),
         }
         let _ = std::fs::remove_dir_all(&scratch);
+    }
+    // `memo_headline`: the steady-state companion row — the same fabric
+    // running 12 fault-free iterations with temporal-symmetry fast-forward
+    // (`FP_MEMO`) on, against a live run of the identical spec for the
+    // byte-identity check. Fault-free because an active fault window
+    // refuses replay, and pinned to least-loaded spray: the default
+    // adaptive policy's deficit decay runs on an absolute time grid that
+    // never realigns with the iteration period — and without the default
+    // 1 µs start jitter, whose per-node RNG draws the gate also refuses
+    // (DESIGN.md §11). Full runs only, like `baseline`.
+    if !fp_bench::quick() {
+        let mut memo_spec = spec.clone();
+        memo_spec.fault = None;
+        memo_spec.iterations = 12;
+        memo_spec.jitter = fp_collectives::jitter::JitterModel::None;
+        memo_spec.sim.spray = SprayPolicy::LeastLoaded;
+        let mut live_spec = memo_spec.clone();
+        live_spec.memo = Some(false);
+        memo_spec.memo = Some(true);
+        let t0 = std::time::Instant::now();
+        let live = run_trial(&live_spec);
+        let live_wall = (t0.elapsed().as_micros() as u64).max(1);
+        let t0 = std::time::Instant::now();
+        let memo = run_trial(&memo_spec);
+        let memo_wall = (t0.elapsed().as_micros() as u64).max(1);
+        assert_eq!(memo.memo_fallback, None, "memo must stay eligible");
+        assert!(memo.memo_hits > 0, "steady state never fast-forwarded");
+        assert_eq!(
+            format!("{:?}", live.stats),
+            format!("{:?}", memo.stats),
+            "fast-forward must be byte-identical to the live engine"
+        );
+        assert_eq!(live.iter_max_dev, memo.iter_max_dev);
+        assert_eq!(live.iter_goodput, memo.iter_goodput);
+        println!(
+            "memo headline: {}/{} iterations replayed ({} events), \
+             {memo_wall} us memo-on vs {live_wall} us live ({:.2}x)",
+            memo.memo_replayed_iters,
+            memo_spec.iterations,
+            memo.memo_replayed_events,
+            live_wall as f64 / memo_wall as f64
+        );
+        match fp_bench::record_bench(&fp_bench::BenchEntry {
+            name: "memo_headline".into(),
+            git: fp_telemetry::git_describe(),
+            scheduler: memo.sched_kind.name().into(),
+            threads: 1,
+            shards: u64::from(memo.shards),
+            shard_events: memo.shard_events.clone(),
+            quick: false,
+            trials: 1,
+            wall_us: memo_wall,
+            events: memo.stats.events,
+            events_per_sec: memo.stats.events as f64 * 1e6 / memo_wall as f64,
+            sched_pushes: memo.sched.pushes,
+            memo_hits: memo.memo_hits,
+            memo_replayed_events: memo.memo_replayed_events,
+            tt_detect_ns: None,
+            tt_mitigate_ns: None,
+            false_mitigations: None,
+        }) {
+            Ok(Some(p)) => println!("[bench memo_headline {}]", p.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: cannot update bench json: {e}"),
+        }
     }
     if let Some(dir) = &telemetry {
         fp_bench::campaign_manifest(
@@ -185,6 +256,7 @@ fn main() {
             r.sched_kind,
             &r.sched,
             u64::from(r.shards),
+            (r.memo_hits, r.memo_replayed_events),
         )
         .write(dir)
         .expect("write manifest");

@@ -238,6 +238,7 @@ fn main() {
     let results: Vec<TrialResult> = timed.into_iter().map(|(r, _)| r).collect();
     let (sched_kind, sched) = fp_bench::campaign::aggregate_sched(&results);
     let (shards, shard_events) = fp_bench::campaign::aggregate_shards(&results);
+    let (memo_hits, memo_replayed_events) = fp_bench::campaign::aggregate_memo(&results);
     match fp_bench::record_bench(&fp_bench::BenchEntry {
         name: "mitigation".into(),
         git: fp_telemetry::git_describe(),
@@ -251,6 +252,8 @@ fn main() {
         events: events_total,
         events_per_sec: events_total as f64 * 1e6 / wall_us_total as f64,
         sched_pushes: sched.pushes,
+        memo_hits,
+        memo_replayed_events,
         tt_detect_ns,
         tt_mitigate_ns,
         false_mitigations: Some(false_mitigations),
@@ -270,6 +273,7 @@ fn main() {
             sched_kind,
             &sched,
             shards,
+            (memo_hits, memo_replayed_events),
         );
         // Attach the controller sweep: which cells ran closed-loop, with
         // what knobs (Null stays the controller-less marker elsewhere).
@@ -293,6 +297,75 @@ fn main() {
         }
     }
     save_json("mitigation", &rows);
+
+    // `memo_mitigation`: the sweep's fabric running a long fault-free
+    // stretch — the regime onset sweeps spend most of their events in —
+    // with temporal-symmetry fast-forward (`FP_MEMO`) on, against a live
+    // run of the identical spec for the byte-identity check. Pinned to
+    // least-loaded spray (the default adaptive policy's absolute-grid
+    // deficit decay never realigns with the iteration period, DESIGN.md
+    // §11) and jitter-free starts (per-node RNG draws are refused too).
+    // Full runs only; the committed row is the trajectory behind the
+    // "≥3× the mitigation sweep rate" fast-forward claim.
+    if !fp_bench::quick() {
+        let mut memo_spec = TrialSpec {
+            iterations: 40,
+            jitter: fp_collectives::jitter::JitterModel::None,
+            ..base.clone()
+        };
+        memo_spec.sim.spray = fp_netsim::spray::SprayPolicy::LeastLoaded;
+        let mut live_spec = memo_spec.clone();
+        live_spec.memo = Some(false);
+        memo_spec.memo = Some(true);
+        let t0 = std::time::Instant::now();
+        let live = run_trial(&live_spec);
+        let live_wall = (t0.elapsed().as_micros() as u64).max(1);
+        let t0 = std::time::Instant::now();
+        let memo = run_trial(&memo_spec);
+        let memo_wall = (t0.elapsed().as_micros() as u64).max(1);
+        assert_eq!(memo.memo_fallback, None, "memo must stay eligible");
+        assert!(memo.memo_hits > 0, "steady state never fast-forwarded");
+        assert_eq!(
+            format!("{:?}", live.stats),
+            format!("{:?}", memo.stats),
+            "fast-forward must be byte-identical to the live engine"
+        );
+        assert_eq!(live.iter_goodput, memo.iter_goodput);
+        let eps = memo.stats.events as f64 * 1e6 / memo_wall as f64;
+        println!(
+            "memo mitigation: {}/{} iterations replayed ({} events), \
+             {memo_wall} us memo-on vs {live_wall} us live ({:.2}x, \
+             {:.1} Mev/s counting replayed events)",
+            memo.memo_replayed_iters,
+            memo_spec.iterations,
+            memo.memo_replayed_events,
+            live_wall as f64 / memo_wall as f64,
+            eps / 1e6
+        );
+        match fp_bench::record_bench(&fp_bench::BenchEntry {
+            name: "memo_mitigation".into(),
+            git: fp_telemetry::git_describe(),
+            scheduler: memo.sched_kind.name().into(),
+            threads: 1,
+            shards: u64::from(memo.shards),
+            shard_events: memo.shard_events.clone(),
+            quick: false,
+            trials: 1,
+            wall_us: memo_wall,
+            events: memo.stats.events,
+            events_per_sec: eps,
+            sched_pushes: memo.sched.pushes,
+            memo_hits: memo.memo_hits,
+            memo_replayed_events: memo.memo_replayed_events,
+            tt_detect_ns: None,
+            tt_mitigate_ns: None,
+            false_mitigations: None,
+        }) {
+            Ok(Some(p)) => println!("[bench memo_mitigation {}]", p.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: cannot update bench json: {e}"),
+        }
+    }
 
     if fp_bench::quick() {
         println!("\nE9 (quick mode): reduced sweep, reporting without asserting.");

@@ -152,6 +152,8 @@ fn main() {
             events: report.snapshots,
             events_per_sec: eps,
             sched_pushes: report.queue.offered,
+            memo_hits: 0,
+            memo_replayed_events: 0,
             tt_detect_ns: None,
             tt_mitigate_ns: None,
             false_mitigations: None,

@@ -123,6 +123,7 @@ impl Campaign {
         }
         let (sched_kind, sched) = aggregate_sched(&results);
         let (shards, shard_events) = aggregate_shards(&results);
+        let (memo_hits, memo_replayed_events) = aggregate_memo(&results);
         let events_total: u64 = timings.iter().map(|t| t.events).sum();
         match crate::record_bench(&crate::BenchEntry {
             name: name.to_string(),
@@ -137,6 +138,8 @@ impl Campaign {
             events: events_total,
             events_per_sec: events_total as f64 * 1e6 / wall_us_total as f64,
             sched_pushes: sched.pushes,
+            memo_hits,
+            memo_replayed_events,
             tt_detect_ns: None,
             tt_mitigate_ns: None,
             false_mitigations: None,
@@ -155,6 +158,7 @@ impl Campaign {
                 sched_kind,
                 &sched,
                 shards,
+                (memo_hits, memo_replayed_events),
             );
             let mdir = dir.join(name);
             match m.write(&mdir) {
@@ -198,6 +202,15 @@ pub fn aggregate_shards(results: &[TrialResult]) -> (u64, Vec<u64>) {
     (shards, agg)
 }
 
+/// Aggregate temporal-symmetry memoization accounting over a campaign's
+/// results: total fast-forwarded spans and the engine events those spans
+/// account for (both 0 when memoization was off or never converged).
+pub fn aggregate_memo(results: &[TrialResult]) -> (u64, u64) {
+    results.iter().fold((0, 0), |(h, e), r| {
+        (h + r.memo_hits, e + r.memo_replayed_events)
+    })
+}
+
 /// Build the self-describing [`fp_telemetry::Manifest`] for one campaign.
 #[allow(clippy::too_many_arguments)]
 pub fn campaign_manifest(
@@ -209,6 +222,7 @@ pub fn campaign_manifest(
     sched_kind: SchedKind,
     sched: &SchedStats,
     shards: u64,
+    memo: (u64, u64),
 ) -> fp_telemetry::Manifest {
     let events_total: u64 = timings.iter().map(|t| t.events).sum();
     fp_telemetry::Manifest {
@@ -227,6 +241,8 @@ pub fn campaign_manifest(
         },
         scheduler: sched_kind.name().to_string(),
         shards,
+        memo_hits: memo.0,
+        memo_replayed_events: memo.1,
         sched: sched.to_value(),
         specs: specs.to_value(),
         ctrl: serde::Value::Null,
@@ -455,8 +471,11 @@ mod tests {
             SchedKind::Wheel,
             &stats,
             1,
+            (5, 2_000),
         );
         assert_eq!(m.trials, 2);
+        assert_eq!(m.memo_hits, 5);
+        assert_eq!(m.memo_replayed_events, 2_000);
         assert_eq!(m.seeds, vec![7, 8]);
         assert_eq!(m.events_total, 4_000_000);
         assert!((m.events_per_sec - 4_000_000.0).abs() < 1e-6);

@@ -67,6 +67,15 @@ pub struct RunnerConfig {
     pub measured: MeasuredSubset,
     /// Seed for the jitter stream (independent of fabric randomness).
     pub jitter_seed: u64,
+    /// Caller's promise that any installed iteration hooks observe or
+    /// mutate state only at the barrier iterations passed to
+    /// [`Simulator::enable_memo`] (e.g. a fault install/heal hook). With
+    /// this set, the runner offers iteration boundaries to the memo engine
+    /// even though hooks are present — a fast-forward never crosses a
+    /// barrier, so the skipped hook invocations were no-ops by promise.
+    /// Ignored (harmless) when memoization is not enabled.
+    #[serde(default)]
+    pub memo_barrier_hooks: bool,
 }
 
 impl Default for RunnerConfig {
@@ -80,6 +89,7 @@ impl Default for RunnerConfig {
             tag: true,
             measured: MeasuredSubset::All,
             jitter_seed: 0x6a_17_7e_12,
+            memo_barrier_hooks: false,
         }
     }
 }
@@ -270,7 +280,44 @@ impl Application for CollectiveRunner {
             }
             self.iter += 1;
             if self.iter < self.cfg.iterations {
-                self.begin_iteration(sim, now + self.cfg.compute_gap);
+                let mut base = now;
+                // Temporal-symmetry fast-forward (`FP_MEMO`): at a clean
+                // boundary the engine may replay recorded steady-state
+                // iterations instead of simulating them. Only offered on
+                // jitter-free runs — jitter draws from the runner's
+                // private RNG (invisible to the engine fingerprint) — and
+                // only when hooks are absent or the caller promised they
+                // act solely at memo barrier iterations
+                // (`memo_barrier_hooks`), which a fast-forward never
+                // crosses. The replay covers whole steady-state windows
+                // of `ff.window` iterations; each window's records are
+                // the last `window` live iterations' records shifted
+                // rigidly by one more period — the spans are identical,
+                // so the goodput values are bit-identical too.
+                if self.cfg.jitter == JitterModel::None
+                    && (self.cfg.memo_barrier_hooks
+                        || (self.on_iter_start.is_none() && self.on_iter_end.is_none()))
+                {
+                    if let Some(ff) = sim.memo_boundary(self.iter, self.cfg.iterations - self.iter)
+                    {
+                        let k = ff.window as usize;
+                        let n = self.iter_started.len();
+                        debug_assert!(n >= k, "matched window exceeds recorded iterations");
+                        for u in 1..=(ff.iters / ff.window) as u64 {
+                            let dt = SimDuration::from_ns(ff.period.as_ns() * u);
+                            for j in (n - k)..n {
+                                self.iter_started.push(self.iter_started[j] + dt);
+                                self.iter_finished.push(self.iter_finished[j] + dt);
+                                self.iter_goodput_bps.push(self.iter_goodput_bps[j]);
+                            }
+                        }
+                        self.iter += ff.iters;
+                        base = sim.now();
+                    }
+                }
+                if self.iter < self.cfg.iterations {
+                    self.begin_iteration(sim, base + self.cfg.compute_gap);
+                }
             }
         }
     }

@@ -137,6 +137,18 @@ pub struct TrialSpec {
     /// runs via per-shard taps merged back into unsharded hook order.
     #[serde(default)]
     pub shards: Option<u32>,
+    /// Temporal-symmetry fast-forward: memoize steady-state collective
+    /// iterations and replay their recorded deltas instead of simulating
+    /// them (`None` = the `FP_MEMO` environment override, default off).
+    /// Results are byte-identical either way; fault onsets, heal edges and
+    /// scheduled controls act as barriers the replay never crosses. Trials
+    /// that are ineligible (start jitter, online controller, telemetry
+    /// recorder, sharded execution — see [`memo_ineligibility`]) run fully
+    /// live with the reason in [`TrialResult::memo_fallback`]; ineligible
+    /// *configurations* (random or adaptive spray) surface the engine's
+    /// own refusal reason the same way.
+    #[serde(default)]
+    pub memo: Option<bool>,
 }
 
 impl Default for TrialSpec {
@@ -161,6 +173,7 @@ impl Default for TrialSpec {
             sim: SimConfig::default(),
             seed: 1,
             shards: None,
+            memo: None,
         }
     }
 }
@@ -328,6 +341,19 @@ pub struct TrialResult {
     /// final row has `last` set; `fabric` is empty until a feed
     /// ([`monitord_feed`]) stamps a stream id.
     pub snapshots: Vec<crate::snapshot::CounterSnapshot>,
+    /// Temporal-symmetry fast-forwards performed (0 unless the trial
+    /// requested memoization and steady state converged).
+    pub memo_hits: u64,
+    /// Collective iterations replayed instead of simulated.
+    pub memo_replayed_iters: u64,
+    /// Engine events the replayed spans account for (already included in
+    /// `stats.events`, which stays byte-identical to a live run).
+    pub memo_replayed_events: u64,
+    /// Why a trial that *requested* memoization ran fully live, or the
+    /// engine's first per-boundary refusal reason (`None` when memoization
+    /// was not requested or every boundary was eligible). Like
+    /// `shard_fallback`, the downgrade is never silent.
+    pub memo_fallback: Option<String>,
 }
 
 // `fp-bench` campaigns fan trials out across worker threads; this fails to
@@ -452,6 +478,8 @@ struct FabricRun {
     /// caller's recorder refilled from the merged per-shard taps
     /// (sharded; see [`fp_collectives::shard::ShardTelemetry`]).
     recorder: Option<Box<dyn fp_telemetry::Recorder>>,
+    /// Memoization counters (unsharded runs with memo enabled only).
+    memo: Option<fp_netsim::prelude::MemoCounters>,
 }
 
 /// Why a trial that requests `shards >= 2` must run unsharded, or `None`
@@ -478,6 +506,35 @@ pub fn shard_ineligibility(spec: &TrialSpec, has_controller: bool) -> Option<Str
     }
     if spec.fault.is_some_and(|f| f.bidirectional) {
         return Some("bidirectional fault straddles two shard owners".into());
+    }
+    None
+}
+
+/// Why a trial that requests memoization (`FP_MEMO` / [`TrialSpec::memo`])
+/// must run fully live, or `None` when the harness can enable it. Start
+/// jitter draws from the runner's private RNG, invisible to the engine
+/// fingerprint; controllers and recorders observe every live iteration;
+/// sharded fabrics have no single-simulator boundary to fingerprint.
+/// Spray-policy ineligibility (random draws, the adaptive policy's
+/// absolute-grid deficit decay) is the engine's own gate and surfaces
+/// through [`fp_netsim::prelude::MemoCounters::fallback`] instead.
+pub fn memo_ineligibility(
+    spec: &TrialSpec,
+    has_controller: bool,
+    has_recorder: bool,
+    sharded: bool,
+) -> Option<String> {
+    if has_controller {
+        return Some("an online controller observes every iteration end".into());
+    }
+    if has_recorder {
+        return Some("telemetry recorder samples on absolute time".into());
+    }
+    if spec.jitter != JitterModel::None {
+        return Some("per-node start jitter draws outside the fingerprint".into());
+    }
+    if sharded {
+        return Some("sharded execution has no single-simulator boundary".into());
     }
     None
 }
@@ -610,6 +667,30 @@ pub fn run_trial_ctl(
         );
     }
 
+    // Temporal-symmetry fast-forward: enable when requested and eligible.
+    // Fault onsets and heal edges are barriers a replay never crosses, so
+    // the iteration-start install/heal hook — which only acts at exactly
+    // those iterations — is safe to skip in between (`memo_barrier_hooks`).
+    let memo_requested = spec
+        .memo
+        .unwrap_or_else(fp_netsim::sim::memo::memo_from_env);
+    let memo_ineligible = if memo_requested {
+        memo_ineligibility(spec, controller.is_some(), recorder.is_some(), eligible)
+    } else {
+        None
+    };
+    let memo_enable = memo_requested && memo_ineligible.is_none();
+    let memo_barriers: Vec<u32> = spec
+        .fault
+        .map(|f| {
+            let mut b = vec![f.at_iter];
+            if let Some(h) = f.heal_at_iter {
+                b.push(h.max(f.at_iter));
+            }
+            b
+        })
+        .unwrap_or_default();
+
     let run = if eligible {
         let mut flips: Vec<fp_collectives::shard::ShardFault> = Vec::new();
         if let Some((f, down, kind)) = injected {
@@ -689,11 +770,17 @@ pub fn run_trial_ctl(
             shards,
             shard_events: out.shard_events,
             recorder,
+            memo: None,
         }
     } else {
         let mut sim = Simulator::new(topo.clone(), spec.sim.clone(), spec.seed);
         if let Some(rec) = recorder {
             sim.set_recorder(rec);
+        }
+        let mut rcfg = rcfg;
+        if memo_enable {
+            sim.enable_memo(memo_barriers);
+            rcfg.memo_barrier_hooks = true;
         }
         for &l in &admin_down {
             sim.apply_fault_now(l, FaultAction::Set(FaultKind::AdminDown), false);
@@ -725,6 +812,7 @@ pub fn run_trial_ctl(
         sim.set_app(Box::new(runner));
         sim.run();
         let end_ns = sim.now().as_ns();
+        let memo = sim.memo_counters();
         FabricRun {
             stats: sim.stats.clone(),
             counters: sim.counters.clone(),
@@ -738,7 +826,14 @@ pub fn run_trial_ctl(
             shards: 1,
             shard_events: Vec::new(),
             recorder: sim.take_recorder(),
+            memo,
         }
+    };
+    let memo_counters = run.memo.clone().unwrap_or_default();
+    let memo_fallback = if memo_requested {
+        memo_ineligible.or_else(|| memo_counters.fallback.clone())
+    } else {
+        None
     };
 
     // Monitoring.
@@ -853,6 +948,15 @@ pub fn run_trial_ctl(
                 },
             );
         }
+        if let Some(reason) = &memo_fallback {
+            rec.on_event(
+                0,
+                &fp_telemetry::Event::Milestone {
+                    name: "memo_fallback".into(),
+                    detail: reason.clone(),
+                },
+            );
+        }
         for r in &run.trace {
             rec.on_event(r.t_ns, &r.event.to_telemetry());
         }
@@ -941,6 +1045,10 @@ pub fn run_trial_ctl(
         shard_events: run.shard_events,
         shard_fallback,
         snapshots,
+        memo_hits: memo_counters.hits,
+        memo_replayed_iters: memo_counters.replayed_iters,
+        memo_replayed_events: memo_counters.replayed_events,
+        memo_fallback,
     };
     (result, recorder)
 }

@@ -1,0 +1,253 @@
+//! Lockstep property: a trial with temporal-symmetry fast-forward enabled
+//! (`TrialSpec::memo`) is byte-identical to the same trial run fully live,
+//! across random fault schedules, both scheduler backends and both
+//! memo-eligible and -ineligible spray policies. The only permitted
+//! divergence is the `MemoFastForward` trace records themselves (and the
+//! trace's offered count, which includes them). Debug builds additionally
+//! re-snapshot after every replay inside the engine, so each proptest case
+//! also validates the fingerprint theorem empirically on miss-heavy paths
+//! (fault mid-run, PFC state, refused boundaries).
+
+use flowpulse::eval::{memo_ineligibility, run_trial_ctl, TrialController};
+use flowpulse::prelude::*;
+use fp_collectives::jitter::JitterModel;
+use fp_netsim::engine::SchedKind;
+use fp_netsim::spray::SprayPolicy;
+use fp_netsim::time::SimDuration;
+use fp_netsim::trace::TraceEvent;
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn base_spec(seed: u64, iterations: u32, wheel: bool, least_loaded: bool) -> TrialSpec {
+    let mut spec = TrialSpec {
+        leaves: 8,
+        spines: 4,
+        bytes_per_node: 256 * 1024,
+        iterations,
+        jitter: JitterModel::None,
+        seed,
+        ..Default::default()
+    };
+    spec.sim.sched = Some(if wheel {
+        SchedKind::Wheel
+    } else {
+        SchedKind::Heap
+    });
+    if least_loaded {
+        spec.sim.spray = SprayPolicy::LeastLoaded;
+    }
+    spec
+}
+
+/// Trace records with the memo markers stripped — the one allowed
+/// on-vs-off divergence.
+fn trace_without_memo(r: &TrialResult) -> Vec<String> {
+    r.trace
+        .iter()
+        .filter(|t| !matches!(t.event, TraceEvent::MemoFastForward { .. }))
+        .map(|t| format!("{t:?}"))
+        .collect()
+}
+
+/// Everything observable must match; `sched`/`sched_kind` are telemetry
+/// (absolute-time wheel placement diagnostics are approximated on replay
+/// and documented as such), and the memo counters differ by design.
+fn assert_lockstep(off: &TrialResult, on: &TrialResult) {
+    assert_eq!(off.iter_max_dev, on.iter_max_dev, "iter_max_dev");
+    assert_eq!(format!("{:?}", off.alarms), format!("{:?}", on.alarms));
+    assert_eq!(off.fault_port, on.fault_port);
+    assert_eq!(off.fault_iter, on.fault_iter);
+    assert_eq!(off.heal_iter, on.heal_iter);
+    assert_eq!(off.detected, on.detected, "detected");
+    assert_eq!(off.false_alarm, on.false_alarm, "false_alarm");
+    assert_eq!(
+        format!("{:?}", off.localization),
+        format!("{:?}", on.localization)
+    );
+    assert_eq!(off.localized_correctly, on.localized_correctly);
+    assert_eq!(off.preexisting_ports, on.preexisting_ports);
+    assert_eq!(
+        format!("{:?}", off.learned_events),
+        format!("{:?}", on.learned_events)
+    );
+    assert_eq!(
+        format!("{:?}", off.stats),
+        format!("{:?}", on.stats),
+        "stats"
+    );
+    assert_eq!(trace_without_memo(off), trace_without_memo(on), "trace");
+    assert_eq!(
+        format!("{:?}", off.observed),
+        format!("{:?}", on.observed),
+        "observed loads"
+    );
+    assert_eq!(
+        format!("{:?}", off.observed_by_src),
+        format!("{:?}", on.observed_by_src)
+    );
+    assert_eq!(off.iter_goodput, on.iter_goodput, "iter_goodput");
+    assert_eq!(
+        format!("{:?}", off.snapshots),
+        format!("{:?}", on.snapshots),
+        "snapshot stream"
+    );
+    assert_eq!(off.shards, on.shards);
+    assert_eq!(off.shard_fallback, on.shard_fallback);
+}
+
+fn run_pair(spec: &TrialSpec) -> (TrialResult, TrialResult) {
+    let mut off = spec.clone();
+    off.memo = Some(false);
+    let mut on = spec.clone();
+    on.memo = Some(true);
+    (run_trial(&off), run_trial(&on))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random fault schedules: kind, onset, optional heal, direction —
+    /// plus scheduler backend and spray policy. Memoized and live runs
+    /// must agree on every observable artifact, whether the boundary
+    /// chain hits (fault-free tails), is barred (onset/heal barriers) or
+    /// is refused outright (adaptive spray, active fault windows).
+    /// `fault_kind` 0 runs fault-free; `heal_after` 0 keeps the fault
+    /// permanent.
+    #[test]
+    fn memo_lockstep_random_fault_schedules(
+        seed in 0u64..u64::MAX,
+        iterations in 10u32..14,
+        wheel in 0u8..2,
+        least_loaded in 0u8..2,
+        fault_kind in 0u8..4,
+        at_iter in 2u32..6,
+        heal_after in 0u32..5,
+        bidirectional in 0u8..2,
+    ) {
+        let mut spec = base_spec(seed, iterations, wheel == 1, least_loaded == 1);
+        if fault_kind > 0 {
+            spec.fault = Some(FaultSpec {
+                kind: match fault_kind {
+                    1 => InjectedFault::Drop { rate: 0.02 },
+                    2 => InjectedFault::Blackhole,
+                    _ => InjectedFault::DstBlackhole,
+                },
+                at_iter,
+                heal_at_iter: (heal_after > 0).then(|| at_iter + heal_after),
+                bidirectional: bidirectional == 1,
+            });
+        }
+        let (off, on) = run_pair(&spec);
+        assert_lockstep(&off, &on);
+        prop_assert_eq!(off.memo_hits, 0);
+        prop_assert!(off.memo_fallback.is_none());
+    }
+}
+
+/// Fault-free steady state must actually fast-forward (hits > 0) while
+/// staying byte-identical — the quickstart-path guarantee.
+#[test]
+fn fault_free_run_replays_and_matches() {
+    let spec = base_spec(7, 12, false, true);
+    let (off, on) = run_pair(&spec);
+    assert_lockstep(&off, &on);
+    assert!(
+        on.memo_fallback.is_none(),
+        "fallback: {:?}",
+        on.memo_fallback
+    );
+    assert!(on.memo_hits > 0, "steady state never fast-forwarded");
+    assert!(on.memo_replayed_iters > 0);
+    assert!(on.memo_replayed_events > 0);
+    // The memoized trace carries exactly `hits` extra records.
+    assert_eq!(on.trace.len() as u64, off.trace.len() as u64 + on.memo_hits);
+}
+
+/// A transient drop fault: the replay chain must stop at the onset
+/// barrier, stay live across the faulted window (fingerprint misses: RNG
+/// draws, link-fault-active), then re-converge and fast-forward the
+/// post-heal tail — all byte-identical.
+#[test]
+fn transient_fault_reconverges_after_heal() {
+    let mut spec = base_spec(11, 18, false, true);
+    spec.fault = Some(FaultSpec {
+        kind: InjectedFault::Drop { rate: 0.03 },
+        at_iter: 3,
+        heal_at_iter: Some(5),
+        bidirectional: false,
+    });
+    let (off, on) = run_pair(&spec);
+    assert_lockstep(&off, &on);
+    assert!(on.detected, "fault must be visible for a meaningful test");
+    assert!(
+        on.memo_hits > 0,
+        "post-heal tail never fast-forwarded (fallback: {:?})",
+        on.memo_fallback
+    );
+}
+
+/// Wheel backend, same transient schedule: replay must be byte-identical
+/// under `FP_SCHED=wheel` too.
+#[test]
+fn transient_fault_reconverges_on_wheel() {
+    let mut spec = base_spec(11, 18, true, true);
+    spec.fault = Some(FaultSpec {
+        kind: InjectedFault::Drop { rate: 0.03 },
+        at_iter: 3,
+        heal_at_iter: Some(5),
+        bidirectional: false,
+    });
+    let (off, on) = run_pair(&spec);
+    assert_lockstep(&off, &on);
+    assert!(on.memo_hits > 0, "fallback: {:?}", on.memo_fallback);
+}
+
+struct NoopController;
+impl TrialController for NoopController {
+    fn on_iteration_end(&mut self, _sim: &mut fp_netsim::sim::Simulator, _iter: u32) {}
+    fn summary(&self) -> CtrlSummary {
+        CtrlSummary::default()
+    }
+}
+
+/// Eligibility gate: controllers, jitter and adaptive spray all refuse
+/// with a reason (never silently), and refused trials still match live.
+#[test]
+fn gate_refuses_with_reasons() {
+    // Controller active: the harness refuses before enabling.
+    let mut spec = base_spec(3, 8, false, true);
+    spec.memo = Some(true);
+    let ctl: Rc<RefCell<dyn TrialController>> = Rc::new(RefCell::new(NoopController));
+    let (r, _) = run_trial_ctl(&spec, None, Some(ctl));
+    assert_eq!(r.memo_hits, 0);
+    let reason = r.memo_fallback.expect("controller must refuse");
+    assert!(reason.contains("controller"), "reason: {reason}");
+
+    // Start jitter: refused by the harness gate.
+    let mut spec = base_spec(3, 8, false, true);
+    spec.jitter = JitterModel::Uniform {
+        max: SimDuration::from_us(1),
+    };
+    spec.memo = Some(true);
+    let r = run_trial(&spec);
+    assert_eq!(r.memo_hits, 0);
+    let reason = r.memo_fallback.expect("jitter must refuse");
+    assert!(reason.contains("jitter"), "reason: {reason}");
+
+    // Adaptive spray (the default): the engine refuses at enable time
+    // (absolute-grid deficit decay), surfaced through the same field.
+    let spec = base_spec(3, 8, false, false);
+    let (off, on) = run_pair(&spec);
+    assert_lockstep(&off, &on);
+    assert_eq!(on.memo_hits, 0);
+    let reason = on.memo_fallback.expect("adaptive spray must refuse");
+    assert!(reason.contains("adaptive"), "reason: {reason}");
+
+    // The pure gate function, for the ineligibility table in DESIGN.md.
+    let eligible = base_spec(3, 8, false, true);
+    assert_eq!(memo_ineligibility(&eligible, false, false, false), None);
+    assert!(memo_ineligibility(&eligible, true, false, false).is_some());
+    assert!(memo_ineligibility(&eligible, false, true, false).is_some());
+    assert!(memo_ineligibility(&eligible, false, false, true).is_some());
+}

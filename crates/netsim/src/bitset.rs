@@ -2,7 +2,7 @@
 //! received/acknowledged segments without per-flow `HashSet` overhead.
 
 /// Fixed-capacity bitset over `u64` words.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BitSet {
     words: Vec<u64>,
     len: u32,

@@ -92,6 +92,29 @@ impl IterCounters {
     }
 }
 
+/// Counter growth for one `(job, iter)` over one recorded memo window —
+/// see [`CounterStore::memo_diff`] / [`CounterStore::memo_apply`].
+#[derive(Clone, Debug)]
+pub struct CounterDelta {
+    /// Job of the entry this delta grows.
+    pub job: u32,
+    /// Collective iteration of the entry; replay rebases this by the
+    /// replayed-iteration offset.
+    pub iter: u32,
+    /// Added bytes per `(row, vspine)` cell.
+    pub bytes: Vec<u64>,
+    /// Added packets per `(row, vspine)` cell.
+    pub pkts: Vec<u64>,
+    /// Added bytes per `(row, vspine, src)` cell.
+    pub by_src: Vec<u64>,
+    /// Per-row `first_seen` written this window (`u64::MAX` = untouched);
+    /// absolute ns, rebased by the replay time shift.
+    pub first_seen: Vec<u64>,
+    /// Per-row `last_seen` written this window (`0` = untouched);
+    /// absolute ns, rebased by the replay time shift.
+    pub last_seen: Vec<u64>,
+}
+
 /// All iteration counters of a run, keyed by `(job, iter)`.
 ///
 /// Layout is optimized for the per-packet hot path ([`Self::record`]):
@@ -206,6 +229,97 @@ impl CounterStore {
     /// Fabric dimensions `(n_rows, n_vspines)`.
     pub fn dims(&self) -> (usize, usize) {
         (self.n_rows, self.n_vspines)
+    }
+
+    /// One `(job, iter)` entry's worth of counter growth over a recorded
+    /// memo window (see `crate::sim::memo`). `first_seen` uses `u64::MAX`
+    /// and `last_seen` uses `0` as "row untouched this window" sentinels —
+    /// the same idle values [`IterCounters::new`] starts rows at, so a
+    /// sentinel never shadows a real update.
+    pub fn memo_diff(&self, prev: &CounterStore) -> Vec<CounterDelta> {
+        debug_assert!(self.entries.len() >= prev.entries.len());
+        let mut out = Vec::new();
+        for ((job, iter), c) in &self.entries {
+            let base = prev.get(*job, *iter);
+            let mut d = CounterDelta {
+                job: *job,
+                iter: *iter,
+                bytes: c.bytes.clone(),
+                pkts: c.pkts.clone(),
+                by_src: c.by_src.clone(),
+                first_seen: c.first_seen.clone(),
+                last_seen: c.last_seen.clone(),
+            };
+            if let Some(p) = base {
+                for (a, b) in d.bytes.iter_mut().zip(&p.bytes) {
+                    *a -= b;
+                }
+                for (a, b) in d.pkts.iter_mut().zip(&p.pkts) {
+                    *a -= b;
+                }
+                for (a, b) in d.by_src.iter_mut().zip(&p.by_src) {
+                    *a -= b;
+                }
+                for (a, b) in d.first_seen.iter_mut().zip(&p.first_seen) {
+                    if *a == *b {
+                        *a = u64::MAX;
+                    }
+                }
+                for (a, b) in d.last_seen.iter_mut().zip(&p.last_seen) {
+                    if *a == *b {
+                        *a = 0;
+                    }
+                }
+            }
+            let touched = d.bytes.iter().any(|&v| v != 0)
+                || d.pkts.iter().any(|&v| v != 0)
+                || d.first_seen.iter().any(|&v| v != u64::MAX)
+                || d.last_seen.iter().any(|&v| v != 0);
+            if touched {
+                out.push(d);
+            }
+        }
+        out
+    }
+
+    /// Replay one recorded window delta onto the store, rebased by
+    /// `iter_shift` collective iterations and `t_shift_ns` of simulated
+    /// time. Cells add; seen-times min/max-merge exactly like a live
+    /// [`Self::record`] stream would have produced.
+    pub fn memo_apply(&mut self, d: &CounterDelta, iter_shift: u32, t_shift_ns: u64) {
+        let key = (d.job, d.iter + iter_shift);
+        let i = match self.index.get(&key) {
+            Some(&i) => i as usize,
+            None => {
+                let i = self.entries.len();
+                self.entries.push((
+                    key,
+                    IterCounters::new(self.n_rows, self.n_vspines, self.n_src),
+                ));
+                self.index.insert(key, i as u32);
+                i
+            }
+        };
+        let c = &mut self.entries[i].1;
+        for (a, b) in c.bytes.iter_mut().zip(&d.bytes) {
+            *a += b;
+        }
+        for (a, b) in c.pkts.iter_mut().zip(&d.pkts) {
+            *a += b;
+        }
+        for (a, b) in c.by_src.iter_mut().zip(&d.by_src) {
+            *a += b;
+        }
+        for (a, b) in c.first_seen.iter_mut().zip(&d.first_seen) {
+            if *b != u64::MAX {
+                *a = (*a).min(b + t_shift_ns);
+            }
+        }
+        for (a, b) in c.last_seen.iter_mut().zip(&d.last_seen) {
+            if *b != 0 {
+                *a = (*a).max(b + t_shift_ns);
+            }
+        }
     }
 
     /// Fold another store of identical dimensions into this one: byte,

@@ -86,6 +86,37 @@ pub enum EventKind {
     Sample,
 }
 
+impl EventKind {
+    /// Rebase the flow id this event references by `dflow` — the temporal-
+    /// symmetry fast-forward shifts every residual timer onto the replayed
+    /// iteration's flow block (`crate::sim::memo`). Events that reference no
+    /// flow pass through unchanged. Variants that must never appear in a
+    /// memoized residual (`Wake`, `FaultUpdate`, `ControlUpdate`, `Pfc`,
+    /// `Sample` — the eligibility scan refuses boundaries holding them)
+    /// debug-panic here.
+    pub(crate) fn memo_shift_flow(self, dflow: u32) -> EventKind {
+        match self {
+            EventKind::Rto {
+                flow,
+                seq,
+                attempt,
+                gen,
+            } => EventKind::Rto {
+                flow: flow + dflow,
+                seq,
+                attempt,
+                gen,
+            },
+            EventKind::AckFlush { flow } => EventKind::AckFlush { flow: flow + dflow },
+            EventKind::TxDone { .. } => self,
+            _ => {
+                debug_assert!(false, "memo rebase over ineligible event {self:?}");
+                self
+            }
+        }
+    }
+}
+
 // Scheduler entries are moved into slot buckets and copied again on every
 // timing-wheel cascade, so growing `EventKind` silently taxes the hottest
 // path in the simulator. Deliveries — which used to carry the 64-byte
@@ -355,6 +386,49 @@ impl EventHeap {
     pub fn scheduled(&self) -> u64 {
         self.pushed
     }
+
+    /// Visit every pending entry, in no particular order (memo snapshot).
+    pub(crate) fn memo_for_each(&self, f: &mut dyn FnMut(SimTime, u64, EventKind)) {
+        for e in self.heap.iter() {
+            f(e.at, e.seq, e.kind);
+        }
+    }
+
+    /// Shift every pending entry by `dt` in time, `dseq` in tie-break
+    /// sequence and `dflow` in flow id, and advance the sequence counter by
+    /// `dseq` — the in-place state rebase the temporal-symmetry fast-forward
+    /// applies at an iteration boundary. A uniform shift preserves the heap
+    /// order exactly, so the rebuilt heap pops in the same relative order.
+    pub(crate) fn memo_rebase(&mut self, dt: crate::time::SimDuration, dseq: u64, dflow: u32) {
+        let v: Vec<HeapEntry> = std::mem::take(&mut self.heap)
+            .into_vec()
+            .into_iter()
+            .map(|e| HeapEntry {
+                at: e.at + dt,
+                seq: e.seq + dseq,
+                kind: e.kind.memo_shift_flow(dflow),
+            })
+            .collect();
+        self.heap = BinaryHeap::from(v);
+        self.seq += dseq;
+        if let Some((t, s)) = self.next {
+            self.next = Some((t + dt, s + dseq));
+        }
+    }
+
+    /// Account `reps` repetitions of one recorded window's scheduler
+    /// traffic without touching pending entries. `max_pending` is a
+    /// high-water mark and a matched steady-state window sets no new one,
+    /// so it is deliberately left alone.
+    pub(crate) fn memo_add_stats(&mut self, d: &SchedStats, reps: u64) {
+        self.pushed += d.pushes * reps;
+        self.popped += d.pops * reps;
+    }
+
+    /// Current sequence-counter value (pushes + reservations so far).
+    pub(crate) fn memo_seq(&self) -> u64 {
+        self.seq
+    }
 }
 
 impl Scheduler for EventHeap {
@@ -427,6 +501,30 @@ macro_rules! dispatch {
             EventQueue::Wheel($q) => $e,
         }
     };
+}
+
+impl EventQueue {
+    /// Visit every pending entry (memo snapshot; order is backend-defined).
+    pub(crate) fn memo_for_each(&self, f: &mut dyn FnMut(SimTime, u64, EventKind)) {
+        dispatch!(self, q => q.memo_for_each(f))
+    }
+
+    /// In-place fast-forward rebase: shift pending entries by `dt`/`dseq`/
+    /// `dflow` and advance the sequence counter by `dseq`.
+    pub(crate) fn memo_rebase(&mut self, dt: crate::time::SimDuration, dseq: u64, dflow: u32) {
+        dispatch!(self, q => q.memo_rebase(dt, dseq, dflow))
+    }
+
+    /// Account `reps` repetitions of one recorded window's scheduler
+    /// traffic.
+    pub(crate) fn memo_add_stats(&mut self, d: &SchedStats, reps: u64) {
+        dispatch!(self, q => q.memo_add_stats(d, reps))
+    }
+
+    /// Current sequence-counter value (pushes + reservations so far).
+    pub(crate) fn memo_seq(&self) -> u64 {
+        dispatch!(self, q => q.memo_seq())
+    }
 }
 
 impl Scheduler for EventQueue {

@@ -133,6 +133,24 @@ impl FrontHeap {
         self.sift_down(0);
     }
 
+    /// All armed fronts in internal heap order (memo fingerprinting sorts
+    /// a copy itself).
+    pub(crate) fn memo_entries(&self) -> &[PipeFront] {
+        &self.heap
+    }
+
+    /// Temporal-symmetry fast-forward: shift every armed front by `dt` in
+    /// time and `dseq` in sequence. A uniform shift preserves the `(at,
+    /// seq)` order, so the heap invariant survives untouched. `max_armed`
+    /// is a high-water mark — a matched steady-state window arms no new
+    /// maximum.
+    pub(crate) fn memo_shift(&mut self, dt: crate::time::SimDuration, dseq: u64) {
+        for f in &mut self.heap {
+            f.at += dt;
+            f.seq += dseq;
+        }
+    }
+
     /// Remove the top after delivering the last packet of its pipe.
     pub fn pop_top(&mut self) -> Option<PipeFront> {
         if self.heap.is_empty() {

@@ -11,7 +11,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Independent RNG streams derived from a master seed.
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RngStreams {
     /// APS spray choices (random policy, tie-breaking for least-loaded).
     pub spray: SmallRng,

@@ -38,6 +38,11 @@ use crate::transport::{AckAccum, FlowState};
 use fp_telemetry::{LinkMeta, LinkSample, Recorder};
 use std::collections::{HashMap, VecDeque};
 
+// A child module (rather than a sibling) so the fast-forward machinery can
+// reach the simulator's private runtime state without widening its API.
+#[path = "memo.rs"]
+pub mod memo;
+
 /// Runtime state of one directed link (its egress queue lives at the
 /// transmitting node).
 #[derive(Debug)]
@@ -269,6 +274,9 @@ pub struct Simulator {
     scratch_loads: Vec<u64>,
     /// Sharded-run state; `None` (the default) on ordinary simulators.
     shard: Option<Box<ShardCtx>>,
+    /// Temporal-symmetry memoization state (`FP_MEMO`, see [`memo`]);
+    /// `None` (the default) falls back to fully live simulation.
+    memo: Option<Box<memo::MemoState>>,
 }
 
 impl Simulator {
@@ -358,6 +366,7 @@ impl Simulator {
             scratch_cands: Vec::new(),
             scratch_loads: Vec::new(),
             shard: None,
+            memo: None,
         };
         sim.recompute_routing();
         sim

@@ -119,6 +119,57 @@ impl Stats {
         }
         self.max_queue_bytes = self.max_queue_bytes.max(other.max_queue_bytes);
     }
+
+    /// Counter growth from `prev` to `self` — one memo window's worth of
+    /// statistics (see `crate::sim::memo`). `max_queue_bytes` is a
+    /// high-water mark, not a counter: the delta carries zero and replay
+    /// leaves the mark alone (a matched steady-state window sets no new
+    /// one).
+    pub(crate) fn memo_diff(&self, prev: &Stats) -> Stats {
+        Stats {
+            events: self.events - prev.events,
+            pipeline_deliveries: self.pipeline_deliveries - prev.pipeline_deliveries,
+            pkts_txed: self.pkts_txed - prev.pkts_txed,
+            data_pkts_sent: self.data_pkts_sent - prev.data_pkts_sent,
+            acks_sent: self.acks_sent - prev.acks_sent,
+            retransmits: self.retransmits - prev.retransmits,
+            rto_stale_skips: self.rto_stale_skips - prev.rto_stale_skips,
+            data_pkts_delivered: self.data_pkts_delivered - prev.data_pkts_delivered,
+            dup_pkts_delivered: self.dup_pkts_delivered - prev.dup_pkts_delivered,
+            bytes_delivered: self.bytes_delivered - prev.bytes_delivered,
+            flows_completed: self.flows_completed - prev.flows_completed,
+            flows_failed: self.flows_failed - prev.flows_failed,
+            drops: std::array::from_fn(|i| self.drops[i] - prev.drops[i]),
+            pfc_pauses: self.pfc_pauses - prev.pfc_pauses,
+            pfc_resumes: self.pfc_resumes - prev.pfc_resumes,
+            pfc_pause_ns: std::array::from_fn(|i| self.pfc_pause_ns[i] - prev.pfc_pause_ns[i]),
+            max_queue_bytes: 0,
+        }
+    }
+
+    /// Replay `reps` repetitions of one recorded window delta.
+    pub(crate) fn memo_apply(&mut self, d: &Stats, reps: u64) {
+        self.events += d.events * reps;
+        self.pipeline_deliveries += d.pipeline_deliveries * reps;
+        self.pkts_txed += d.pkts_txed * reps;
+        self.data_pkts_sent += d.data_pkts_sent * reps;
+        self.acks_sent += d.acks_sent * reps;
+        self.retransmits += d.retransmits * reps;
+        self.rto_stale_skips += d.rto_stale_skips * reps;
+        self.data_pkts_delivered += d.data_pkts_delivered * reps;
+        self.dup_pkts_delivered += d.dup_pkts_delivered * reps;
+        self.bytes_delivered += d.bytes_delivered * reps;
+        self.flows_completed += d.flows_completed * reps;
+        self.flows_failed += d.flows_failed * reps;
+        for (a, b) in self.drops.iter_mut().zip(&d.drops) {
+            *a += b * reps;
+        }
+        self.pfc_pauses += d.pfc_pauses * reps;
+        self.pfc_resumes += d.pfc_resumes * reps;
+        for (a, b) in self.pfc_pause_ns.iter_mut().zip(&d.pfc_pause_ns) {
+            *a += b * reps;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,15 @@ pub enum TraceEvent {
         /// Target link.
         link: LinkId,
     },
+    /// Temporal-symmetry fast-forward replayed a steady-state span instead
+    /// of simulating it (one record per replayed span, stamped at the
+    /// boundary where the replay began).
+    MemoFastForward {
+        /// Collective iterations replayed in this span.
+        iters: u32,
+        /// Engine events the replayed span accounts for.
+        events: u64,
+    },
 }
 
 impl TraceEvent {
@@ -88,6 +97,9 @@ impl TraceEvent {
                 phase: "apply".into(),
                 detail: format!("link {}", link.0),
             },
+            TraceEvent::MemoFastForward { iters, events } => {
+                Event::MemoFastForward { iters, events }
+            }
         }
     }
 }

@@ -141,7 +141,7 @@ impl FlowState {
 
 /// Receiver-side accumulator that coalesces ACKs for up to 64 consecutive
 /// sequence numbers into one [`AckBlock`].
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct AckAccum {
     /// Base sequence of the block.
     pub base: u32,

@@ -237,19 +237,104 @@ impl TimingWheel {
         self.stats
     }
 
+    /// Visit every pending entry (memo snapshot): filed slots, the overflow
+    /// spill and the unread due-buffer tail. Order is internal, not pop
+    /// order.
+    pub(crate) fn memo_for_each(&self, f: &mut dyn FnMut(SimTime, u64, EventKind)) {
+        for slot in self.slots.iter() {
+            for e in slot {
+                f(e.at, e.seq, e.kind);
+            }
+        }
+        for s in self.overflow.iter() {
+            f(s.0.at, s.0.seq, s.0.kind);
+        }
+        for e in &self.due[self.due_pos..] {
+            f(e.at, e.seq, e.kind);
+        }
+    }
+
+    /// In-place fast-forward rebase: shift every pending entry by `dt` in
+    /// time, `dseq` in tie-break sequence and `dflow` in flow id, advance
+    /// the cursor by `dt` and the sequence counter by `dseq`. Shifted
+    /// absolute times generally change radix digits, so filed entries are
+    /// drained and re-filed against the shifted cursor — without touching
+    /// the occupancy stats, whose window traffic [`Self::memo_add_stats`]
+    /// accounts separately. Unread due-buffer entries keep their buffer
+    /// position (they may legally sit below the cursor).
+    pub(crate) fn memo_rebase(&mut self, dt: crate::time::SimDuration, dseq: u64, dflow: u32) {
+        let mut pending: Vec<Entry> = Vec::new();
+        for slot in self.slots.iter_mut() {
+            pending.append(slot);
+        }
+        self.occ = [[0; OCC_WORDS]; WHEEL_LEVELS];
+        pending.extend(std::mem::take(&mut self.overflow).into_iter().map(|s| s.0));
+        self.cursor += dt;
+        for e in pending {
+            self.file_inner(
+                Entry {
+                    at: e.at + dt,
+                    seq: e.seq + dseq,
+                    kind: e.kind.memo_shift_flow(dflow),
+                },
+                false,
+            );
+        }
+        for e in &mut self.due[self.due_pos..] {
+            e.at += dt;
+            e.seq += dseq;
+            e.kind = e.kind.memo_shift_flow(dflow);
+        }
+        self.seq += dseq;
+    }
+
+    /// Account `reps` repetitions of one recorded window's scheduler
+    /// traffic. Push/pop totals are exact; the bucket-placement
+    /// diagnostics (`level_pushes`, `cascades`, spills, splices) repeat the
+    /// recorded window's values, which is approximate — placement depends
+    /// on absolute-time radix digits and is not shift-invariant (see
+    /// DESIGN.md §11). `max_pending` is a high-water mark and is left
+    /// alone: a matched steady-state window sets no new one.
+    pub(crate) fn memo_add_stats(&mut self, d: &SchedStats, reps: u64) {
+        self.stats.pushes += d.pushes * reps;
+        self.stats.pops += d.pops * reps;
+        for (a, b) in self.stats.level_pushes.iter_mut().zip(d.level_pushes) {
+            *a += b * reps;
+        }
+        self.stats.spill_pushes += d.spill_pushes * reps;
+        self.stats.cascades += d.cascades * reps;
+        self.stats.cascaded_entries += d.cascaded_entries * reps;
+        self.stats.due_splices += d.due_splices * reps;
+    }
+
+    /// Current sequence-counter value (pushes + reservations so far).
+    pub(crate) fn memo_seq(&self) -> u64 {
+        self.seq
+    }
+
     /// File an entry into the wheel or the overflow spill, relative to the
     /// current cursor. Used by both `push` and cascade re-filing; callers
     /// guarantee `e.at >= self.cursor`.
     fn file(&mut self, e: Entry) {
+        self.file_inner(e, true);
+    }
+
+    /// [`Self::file`] with optional stats accounting — memo re-filing after
+    /// a rebase must not recount pushes the window delta already covers.
+    fn file_inner(&mut self, e: Entry, count: bool) {
         debug_assert!(e.at >= self.cursor);
         let at = e.at;
         let level = at.radix_level(self.cursor, WHEEL_BITS) as usize;
         if level >= WHEEL_LEVELS {
-            self.stats.spill_pushes += 1;
+            if count {
+                self.stats.spill_pushes += 1;
+            }
             self.overflow.push(Spill(e));
             return;
         }
-        self.stats.level_pushes[level] += 1;
+        if count {
+            self.stats.level_pushes[level] += 1;
+        }
         let slot = at.radix_digit(WHEEL_BITS, level as u32);
         self.slots[level * WHEEL_SLOTS + slot].push(e);
         self.occ[level][slot / 64] |= 1 << (slot % 64);

@@ -53,6 +53,7 @@ fn instant_home(ev: &Event) -> (&'static str, u64, u64) {
         Event::Alarm { .. } => ("alarm", PID_COLLECTIVES, 0),
         Event::Milestone { .. } => ("milestone", PID_COLLECTIVES, 0),
         Event::Control { .. } => ("control", PID_COLLECTIVES, 0),
+        Event::MemoFastForward { .. } => ("memo_fast_forward", PID_COLLECTIVES, 0),
     }
 }
 

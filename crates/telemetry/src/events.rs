@@ -73,6 +73,15 @@ pub enum Event {
         /// Free-form detail for humans.
         detail: String,
     },
+    /// The simulator fast-forwarded a steady-state span instead of
+    /// simulating it (temporal-symmetry memoization, `FP_MEMO`). One event
+    /// per replayed span, stamped at the boundary where the replay began.
+    MemoFastForward {
+        /// Collective iterations replayed in this span.
+        iters: u32,
+        /// Engine events the replayed span accounts for.
+        events: u64,
+    },
 }
 
 /// A timestamped [`Event`] — one line of `events.jsonl`.

@@ -33,6 +33,13 @@ pub struct Manifest {
     pub scheduler: String,
     /// Intra-trial shard count the fabric ran with (1 = unsharded).
     pub shards: u64,
+    /// Iteration spans fast-forwarded by temporal-symmetry memoization
+    /// (`FP_MEMO`), summed across trials. 0 when memoization was off or
+    /// never converged.
+    pub memo_hits: u64,
+    /// Engine events accounted for by replayed spans (already included in
+    /// `events_total`), summed across trials.
+    pub memo_replayed_events: u64,
     /// Scheduler occupancy counters aggregated over the run (per-level
     /// slot insertions, overflow spills, cascades, pending high-water
     /// mark), serialized by the caller.
@@ -123,6 +130,8 @@ mod tests {
             events_per_sec: 7.5e7,
             scheduler: "wheel".into(),
             shards: 1,
+            memo_hits: 3,
+            memo_replayed_events: 4500,
             sched: Value::Map(vec![("max_pending".to_string(), Value::U64(12))]),
             specs: Value::Seq(vec![Value::Map(vec![(
                 "seed".to_string(),
@@ -140,6 +149,11 @@ mod tests {
         assert_eq!(get("name").and_then(Value::as_str), Some("fig5a"));
         assert_eq!(get("trials").and_then(Value::as_u64), Some(2));
         assert_eq!(get("scheduler").and_then(Value::as_str), Some("wheel"));
+        assert_eq!(get("memo_hits").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            get("memo_replayed_events").and_then(Value::as_u64),
+            Some(4500)
+        );
         assert!(get("sched").and_then(Value::as_map).is_some());
         assert_eq!(
             get("specs").and_then(Value::as_seq).map(<[Value]>::len),

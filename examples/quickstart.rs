@@ -75,4 +75,49 @@ fn main() {
         r.detected, r.localized_correctly, r.false_alarm
     );
     assert!(r.detected && !r.false_alarm);
+
+    // The same temporal symmetry FlowPulse detects with can also be
+    // *exploited for speed*: a fault-free fabric converges to a steady
+    // state after a couple of iterations, and once an iteration boundary
+    // fingerprints identically to a recent one the engine fast-forwards
+    // the rest — replaying the recorded window's deltas instead of
+    // simulating them, byte-identical to the live run (`FP_MEMO`, see
+    // DESIGN.md §11). Least-loaded spray here because the default adaptive
+    // policy's deficit decay runs on an absolute time grid the iteration
+    // period never realigns with, so it is refused by the eligibility gate
+    // — as is the default 1 µs start jitter (per-node RNG draws outside
+    // the fingerprint).
+    let mut memo_spec = TrialSpec {
+        fault: None,
+        iterations: 12,
+        jitter: fp_collectives::jitter::JitterModel::None,
+        ..spec.clone()
+    };
+    memo_spec.sim.spray = fp_netsim::spray::SprayPolicy::LeastLoaded;
+    let mut live_spec = memo_spec.clone();
+    live_spec.memo = Some(false);
+    memo_spec.memo = Some(true);
+    let t0 = std::time::Instant::now();
+    let live = run_trial(&live_spec);
+    let live_wall = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let memo = run_trial(&memo_spec);
+    let memo_wall = t0.elapsed();
+    println!(
+        "\nfault-free fast-forward: {} of {} iterations replayed \
+         ({} of {} events), {:?} memo-on vs {:?} live",
+        memo.memo_replayed_iters,
+        memo_spec.iterations,
+        memo.memo_replayed_events,
+        memo.stats.events,
+        memo_wall,
+        live_wall
+    );
+    assert!(memo.memo_hits > 0, "steady state never fast-forwarded");
+    assert_eq!(memo.memo_fallback, None);
+    assert_eq!(
+        format!("{:?}", live.stats),
+        format!("{:?}", memo.stats),
+        "fast-forward must be byte-identical to the live engine"
+    );
 }

@@ -66,9 +66,11 @@ import json, sys
 d = json.load(open("BENCH_netsim.json"))
 required = ["name", "git", "scheduler", "threads", "shards", "shard_events",
             "quick", "trials", "wall_us", "events", "events_per_sec",
-            "sched_pushes"]
+            "sched_pushes", "memo_hits", "memo_replayed_events"]
 for name in ("headline", "baseline", "telemetry_overhead", "mitigation",
+             "memo_headline", "memo_mitigation",
              "shards1", "shards2", "shards4", "shards8",
+             "shards2_inline", "shards4_inline", "shards8_inline",
              "monitord32_block", "monitord64_block",
              "monitord32_drop", "monitord32_park"):
     e = d.get(name)
@@ -78,12 +80,19 @@ for name in ("headline", "baseline", "telemetry_overhead", "mitigation",
     if missing:
         sys.exit(f"BENCH_netsim.json[{name}]: missing keys {missing}")
 for n in (1, 2, 4, 8):
-    e = d[f"shards{n}"]
-    if e["shards"] != n:
-        sys.exit(f"BENCH_netsim.json[shards{n}]: shards field is {e['shards']}")
-    if n > 1 and len(e["shard_events"]) != n:
-        sys.exit(f"BENCH_netsim.json[shards{n}]: "
-                 f"{len(e['shard_events'])} per-shard event counts")
+    for suffix in ("", "_inline"):
+        if n == 1 and suffix:
+            continue
+        e = d[f"shards{n}{suffix}"]
+        if e["shards"] != n:
+            sys.exit(f"BENCH_netsim.json[shards{n}{suffix}]: "
+                     f"shards field is {e['shards']}")
+        if n > 1 and len(e["shard_events"]) != n:
+            sys.exit(f"BENCH_netsim.json[shards{n}{suffix}]: "
+                     f"{len(e['shard_events'])} per-shard event counts")
+for name in ("memo_headline", "memo_mitigation"):
+    if d[name]["memo_hits"] == 0:
+        sys.exit(f"BENCH_netsim.json[{name}]: memoized campaign recorded 0 hits")
 ctrl_keys = ["tt_detect_ns", "tt_mitigate_ns", "false_mitigations"]
 m = d["mitigation"]
 missing = [k for k in ctrl_keys if m.get(k) is None]
@@ -95,8 +104,28 @@ mb = d["monitord32_block"]
 if mb["events"] != mb["sched_pushes"]:
     sys.exit("BENCH_netsim.json[monitord32_block]: blocking policy lost "
              f"snapshots ({mb['events']} processed of {mb['sched_pushes']} offered)")
-print("    headline + baseline + overhead + mitigation + monitord entries "
-      "carry all required keys")
+print("    headline + baseline + overhead + mitigation + memo + shard + "
+      "monitord entries carry all required keys")
+EOF
+
+echo "==> memo perf canary (warn-only): committed memo rows vs live rates"
+python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_netsim.json"))
+memo = d["memo_mitigation"]
+live = d["mitigation"]
+ratio = memo["events_per_sec"] / live["events_per_sec"]
+print(f"    memo_mitigation: {memo['events_per_sec']/1e6:.1f} Mev/s counting "
+      f"replayed events vs mitigation sweep {live['events_per_sec']/1e6:.1f} "
+      f"Mev/s ({ratio:.1f}x; {memo['memo_replayed_events']} of "
+      f"{memo['events']} events replayed)")
+if ratio < 3.0:
+    print("    WARNING: memoized rate < 3x the mitigation sweep — the "
+          "fast-forward win regressed; worth a full re-measure")
+mh = d["memo_headline"]
+hl = d["headline"]
+print(f"    memo_headline: {mh['events_per_sec']/1e6:.1f} Mev/s vs live "
+      f"headline {hl['events_per_sec']/1e6:.1f} Mev/s")
 EOF
 
 echo "==> perf smoke (warn-only): quick headline vs committed BENCH_netsim.json"
@@ -167,6 +196,28 @@ print(f"    perf canary (warn-only): FP_SHARDS=2 {sh['events_per_sec']/1e6:.2f} 
       "< 1x expected on hosts without spare cores)")
 EOF
 echo "    headline: FP_SHARDS=4 verdicts identical (deviation fields warn-only)"
+
+echo "==> FP_MEMO smoke: memoized runs byte-identical to live (wheel + heap)"
+tmo="$(mktemp -d)"
+tmm="$(mktemp -d)"
+trap 'rm -rf "$t1" "$t4" "$tt" "$th" "$pb" "$ts" "$tmo" "$tmm"' EXIT
+for bin in headline fig2 mitigation; do
+    FP_QUICK=1 FP_RESULTS="$tmo" \
+        cargo run --release -q -p fp-bench --bin "$bin" >/dev/null
+    FP_QUICK=1 FP_MEMO=1 FP_RESULTS="$tmm" \
+        cargo run --release -q -p fp-bench --bin "$bin" >/dev/null
+    cmp "$tmo/$bin.json" "$tmm/$bin.json"
+    FP_QUICK=1 FP_SCHED=heap FP_RESULTS="$tmo/heap" \
+        cargo run --release -q -p fp-bench --bin "$bin" >/dev/null
+    FP_QUICK=1 FP_MEMO=1 FP_SCHED=heap FP_RESULTS="$tmm/heap" \
+        cargo run --release -q -p fp-bench --bin "$bin" >/dev/null
+    cmp "$tmo/heap/$bin.json" "$tmm/heap/$bin.json"
+    echo "    $bin: JSON byte-identical FP_MEMO=1 vs off (wheel + heap)"
+done
+
+echo "==> quickstart example: fault-free fast-forward must engage (memo_hits > 0)"
+cargo run --release -q --example quickstart >/dev/null
+echo "    quickstart: memoized steady state replayed, byte-identical to live"
 
 echo "==> monitord smoke: quick E10 sweep through the live service"
 tm1="$(mktemp -d)"
