@@ -5,19 +5,23 @@
 //! * **cross-shard pipe throughput** — how fast boundary packets move
 //!   through the lock-free SPSC mailboxes the threaded backend uses, both
 //!   same-thread (the inline coordinator's upper bound) and across a real
-//!   thread pair;
+//!   thread pair, and the per-event SPSC path against the batched ring
+//!   the epoch protocol publishes through (one release-store per window
+//!   instead of one per packet);
 //! * **window-sync overhead** — a whole sharded ring trial at 1/2/4
-//!   shards on the inline backend. The conservative-lookahead horizon
-//!   (150 ns against a ≥ 20 µs topology gap) forces a barrier per window;
-//!   on a single core every extra shard is pure coordination cost, so this
-//!   group measures the overhead floor, not a speedup.
+//!   shards on the inline backend, at epoch cap 1 (the legacy per-window
+//!   handshake) and at the default epoch cap. The conservative-lookahead
+//!   horizon (150 ns against a ≥ 20 µs topology gap) forces a barrier per
+//!   window under cap 1; on a single core every extra shard is pure
+//!   coordination cost, so this group measures the overhead floor the
+//!   epoch batching amortizes, not a speedup.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fp_collectives::prelude::*;
 use fp_netsim::ids::HostId;
 use fp_netsim::packet::{Packet, PacketKind, Priority};
 use fp_netsim::prelude::*;
-use fp_netsim::shard::{spsc, RemotePkt};
+use fp_netsim::shard::{batch_ring, spsc, RemotePkt};
 use fp_netsim::time::{SimDuration, SimTime};
 
 const PIPE_OPS: u64 = 100_000;
@@ -88,6 +92,64 @@ fn pipe_threaded(cap: usize) -> u64 {
     })
 }
 
+/// Batched-ring analogue of [`pipe_inline`]: stage `batch` packets
+/// locally, publish them with one release-store, drain per batch — the
+/// epoch protocol's per-window transport cost.
+fn ring_inline(batch: usize) -> u64 {
+    let (tx, rx) = batch_ring::<RemotePkt>(4);
+    let mut staging = Vec::with_capacity(batch);
+    let mut out = Vec::with_capacity(batch);
+    let mut sum = 0u64;
+    let mut sent = 0u64;
+    while sent < PIPE_OPS {
+        while sent < PIPE_OPS && staging.len() < batch {
+            staging.push(remote_pkt(sent));
+            sent += 1;
+        }
+        assert!(tx.publish(&mut staging));
+        rx.drain_into(&mut out);
+        for p in out.drain(..) {
+            sum = sum.wrapping_add(p.at.as_ns());
+        }
+    }
+    sum
+}
+
+/// Producer thread → consumer thread through the batched ring: one
+/// release-store per `batch` packets instead of one per packet.
+fn ring_threaded(batch: usize) -> u64 {
+    let (tx, rx) = batch_ring::<RemotePkt>(4);
+    let batches = PIPE_OPS / batch as u64;
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut staging = Vec::with_capacity(batch);
+            let mut i = 0u64;
+            for _ in 0..batches {
+                for _ in 0..batch {
+                    staging.push(remote_pkt(i));
+                    i += 1;
+                }
+                while !tx.publish(&mut staging) {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut sum = 0u64;
+        let mut got = 0u64;
+        while got < batches {
+            if let Some(b) = rx.try_pop() {
+                got += 1;
+                for p in b.iter() {
+                    sum = sum.wrapping_add(p.at.as_ns());
+                }
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        sum
+    })
+}
+
 fn bench_pipe(c: &mut Criterion) {
     let mut g = c.benchmark_group("shard/pipe_throughput");
     g.throughput(Throughput::Elements(PIPE_OPS));
@@ -98,6 +160,16 @@ fn bench_pipe(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("threaded", cap), &cap, |b, &cap| {
             b.iter(|| pipe_threaded(cap))
+        });
+    }
+    // Batch sizes bracketing a typical epoch's boundary traffic: one
+    // window's worth (small) and a full 32-window epoch's worth.
+    for batch in [64usize, 2048] {
+        g.bench_with_input(BenchmarkId::new("ring_inline", batch), &batch, |b, &n| {
+            b.iter(|| ring_inline(n))
+        });
+        g.bench_with_input(BenchmarkId::new("ring_threaded", batch), &batch, |b, &n| {
+            b.iter(|| ring_threaded(n))
         });
     }
     g.finish();
@@ -121,11 +193,12 @@ fn bench_window_sync(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("shard/ring_trial_8x4_256KiB");
     g.sample_size(10);
-    for shards in [1u32, 2, 4] {
+    // epoch 1 = legacy per-window handshake; 32 = default batched epochs.
+    for (shards, epoch) in [(1u32, 1u32), (2, 1), (2, 32), (4, 1), (4, 32)] {
         g.bench_with_input(
-            BenchmarkId::from_parameter(shards),
-            &shards,
-            |b, &shards| {
+            BenchmarkId::from_parameter(format!("shards{shards}_epoch{epoch}")),
+            &(shards, epoch),
+            |b, &(shards, epoch)| {
                 b.iter(|| {
                     run_sharded(
                         &topo,
@@ -133,6 +206,7 @@ fn bench_window_sync(c: &mut Criterion) {
                         11,
                         shards,
                         false,
+                        epoch,
                         sched.clone(),
                         rcfg.clone(),
                         &[],

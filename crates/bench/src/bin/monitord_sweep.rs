@@ -144,7 +144,11 @@ fn main() {
             git: fp_telemetry::git_describe(),
             scheduler: "monitord".into(),
             threads: threads as u64,
+            host_parallelism: fp_bench::host_parallelism(),
             shards: 1,
+            shard_epoch: 0,
+            shard_windows: 0,
+            shard_syncs: 0,
             shard_events: Vec::new(),
             quick: fp_bench::quick(),
             trials: streams as u64,

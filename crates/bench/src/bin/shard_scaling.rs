@@ -11,7 +11,14 @@
 //! produced them: on a single hardware thread every `shards > 1` row is
 //! *slower* than `shards1` and the inline rows bound the pure sync
 //! overhead; the speedup only materializes with cores to spread the
-//! shards over. `FP_QUICK` shrinks the fabric.
+//! shards over (each row's `host_parallelism` says which regime it
+//! measured). Every sharded row also records `shard_windows` and
+//! `shard_syncs`: under epoch batching (`FP_SHARD_EPOCH`, default 32)
+//! many conservative windows ride one synchronization round, and since
+//! the window schedule is identical at any epoch cap, `shard_windows` is
+//! exactly what `shard_syncs` would have been under the legacy per-window
+//! handshake — one row carries its own before/after. `FP_QUICK` shrinks
+//! the fabric.
 
 use flowpulse::prelude::*;
 use fp_bench::{header, pick};
@@ -22,7 +29,11 @@ fn record(name: &str, r: &TrialResult, wall_us: u64, eps: f64) {
         git: fp_telemetry::git_describe(),
         scheduler: r.sched_kind.name().into(),
         threads: 1,
+        host_parallelism: fp_bench::host_parallelism(),
         shards: u64::from(r.shards),
+        shard_epoch: u64::from(r.shard_epoch),
+        shard_windows: r.shard_windows,
+        shard_syncs: r.shard_syncs,
         shard_events: r.shard_events.clone(),
         quick: fp_bench::quick(),
         trials: 1,
@@ -82,11 +93,22 @@ fn main() {
                 }
                 Some(b) => eps / b,
             };
+            let amort = if r.shard_syncs == 0 {
+                0.0
+            } else {
+                r.shard_windows as f64 / r.shard_syncs as f64
+            };
             println!(
                 "shards={shards} ({backend}) wall_us={wall_us} events={} \
                  ev_per_sec={eps:.0} speedup_vs_1={speedup:.2}x detected={} \
+                 epoch={} windows={} syncs={} windows_per_sync={amort:.1} \
                  shard_events={:?}",
-                r.stats.events, r.detected, r.shard_events
+                r.stats.events,
+                r.detected,
+                r.shard_epoch,
+                r.shard_windows,
+                r.shard_syncs,
+                r.shard_events
             );
             record(&format!("shards{shards}{suffix}"), &r, wall_us, eps);
         }

@@ -122,7 +122,7 @@ impl Campaign {
             );
         }
         let (sched_kind, sched) = aggregate_sched(&results);
-        let (shards, shard_events) = aggregate_shards(&results);
+        let shard_agg = aggregate_shards(&results);
         let (memo_hits, memo_replayed_events) = aggregate_memo(&results);
         let events_total: u64 = timings.iter().map(|t| t.events).sum();
         match crate::record_bench(&crate::BenchEntry {
@@ -130,8 +130,12 @@ impl Campaign {
             git: fp_telemetry::git_describe(),
             scheduler: sched_kind.name().to_string(),
             threads: self.threads as u64,
-            shards,
-            shard_events,
+            host_parallelism: crate::host_parallelism(),
+            shards: shard_agg.shards,
+            shard_epoch: shard_agg.epoch,
+            shard_windows: shard_agg.windows,
+            shard_syncs: shard_agg.syncs,
+            shard_events: shard_agg.events.clone(),
             quick: crate::quick(),
             trials: specs.len() as u64,
             wall_us: wall_us_total,
@@ -157,7 +161,7 @@ impl Campaign {
                 wall_us_total,
                 sched_kind,
                 &sched,
-                shards,
+                &shard_agg,
                 (memo_hits, memo_replayed_events),
             );
             let mdir = dir.join(name);
@@ -184,22 +188,44 @@ pub fn aggregate_sched(results: &[TrialResult]) -> (SchedKind, SchedStats) {
     (kind, agg)
 }
 
-/// Aggregate intra-trial shard accounting over a campaign's results: the
-/// shard count from the first trial (campaigns don't mix shard counts
-/// within a sweep) and the element-wise sum of per-shard event counts
-/// across trials (empty when the campaign ran unsharded).
-pub fn aggregate_shards(results: &[TrialResult]) -> (u64, Vec<u64>) {
-    let shards = results.first().map(|r| u64::from(r.shards)).unwrap_or(1);
-    let mut agg: Vec<u64> = Vec::new();
+/// Aggregated intra-trial shard accounting for one campaign.
+#[derive(Clone, Debug, Default)]
+pub struct ShardAgg {
+    /// Shard count from the first trial (campaigns don't mix shard counts
+    /// within a sweep; 1 = unsharded).
+    pub shards: u64,
+    /// Epoch cap from the first trial (0 when unsharded).
+    pub epoch: u64,
+    /// Conservative-lookahead windows executed, summed across trials.
+    pub windows: u64,
+    /// Coordinator synchronization rounds, summed across trials.
+    pub syncs: u64,
+    /// Element-wise sum of per-shard event counts across trials (empty
+    /// when the campaign ran unsharded).
+    pub events: Vec<u64>,
+}
+
+/// Aggregate intra-trial shard accounting over a campaign's results.
+pub fn aggregate_shards(results: &[TrialResult]) -> ShardAgg {
+    let mut agg = ShardAgg {
+        shards: results.first().map(|r| u64::from(r.shards)).unwrap_or(1),
+        epoch: results
+            .first()
+            .map(|r| u64::from(r.shard_epoch))
+            .unwrap_or(0),
+        ..ShardAgg::default()
+    };
     for r in results {
-        if agg.len() < r.shard_events.len() {
-            agg.resize(r.shard_events.len(), 0);
+        agg.windows += r.shard_windows;
+        agg.syncs += r.shard_syncs;
+        if agg.events.len() < r.shard_events.len() {
+            agg.events.resize(r.shard_events.len(), 0);
         }
-        for (slot, &e) in agg.iter_mut().zip(r.shard_events.iter()) {
+        for (slot, &e) in agg.events.iter_mut().zip(r.shard_events.iter()) {
             *slot += e;
         }
     }
-    (shards, agg)
+    agg
 }
 
 /// Aggregate temporal-symmetry memoization accounting over a campaign's
@@ -221,7 +247,7 @@ pub fn campaign_manifest(
     wall_us_total: u64,
     sched_kind: SchedKind,
     sched: &SchedStats,
-    shards: u64,
+    shard_agg: &ShardAgg,
     memo: (u64, u64),
 ) -> fp_telemetry::Manifest {
     let events_total: u64 = timings.iter().map(|t| t.events).sum();
@@ -229,6 +255,7 @@ pub fn campaign_manifest(
         name: name.to_string(),
         git: fp_telemetry::git_describe(),
         threads: threads as u64,
+        host_parallelism: crate::host_parallelism(),
         quick: crate::quick(),
         trials: specs.len() as u64,
         seeds: specs.iter().map(|s| s.seed).collect(),
@@ -240,7 +267,8 @@ pub fn campaign_manifest(
             events_total as f64 * 1e6 / wall_us_total as f64
         },
         scheduler: sched_kind.name().to_string(),
-        shards,
+        shards: shard_agg.shards,
+        shard_epoch: shard_agg.epoch,
         memo_hits: memo.0,
         memo_replayed_events: memo.1,
         sched: sched.to_value(),
@@ -470,10 +498,16 @@ mod tests {
             1_000_000,
             SchedKind::Wheel,
             &stats,
-            1,
+            &ShardAgg {
+                shards: 1,
+                ..ShardAgg::default()
+            },
             (5, 2_000),
         );
         assert_eq!(m.trials, 2);
+        assert_eq!(m.shards, 1);
+        assert_eq!(m.shard_epoch, 0);
+        assert!(m.host_parallelism >= 1);
         assert_eq!(m.memo_hits, 5);
         assert_eq!(m.memo_replayed_events, 2_000);
         assert_eq!(m.seeds, vec![7, 8]);

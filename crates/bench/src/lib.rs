@@ -26,8 +26,8 @@
 pub mod bench_json;
 pub mod campaign;
 
-pub use bench_json::{record_bench, record_bench_at, BenchEntry};
-pub use campaign::{campaign_manifest, log_trials_to, Campaign, TrialTiming};
+pub use bench_json::{host_parallelism, record_bench, record_bench_at, BenchEntry};
+pub use campaign::{campaign_manifest, log_trials_to, Campaign, ShardAgg, TrialTiming};
 
 use serde::Serialize;
 use std::io::Write;

@@ -21,6 +21,33 @@
 //! owning its receiving node, and injects it (arrival-time-stamped)
 //! before the next round.
 //!
+//! ## Epoch batching
+//!
+//! The window *schedule* above is exact, but paying one coordinator
+//! round-trip (two mailbox hops plus a wake-up per shard) per window is
+//! what held the threaded backend under 0.5× of the unsharded engine.
+//! The coordinator instead issues one
+//! [`Cmd::Epoch`]: shards advance up to `FP_SHARD_EPOCH` windows
+//! peer-to-peer, synchronizing each window over a shared [`EpochShared`]
+//! slot array (cache-line-padded per-shard next/events/completions
+//! atomics) and a spin barrier, and exchanging boundary records directly
+//! through batched SPSC rings ([`fp_netsim::shard::batch_ring`]) — one
+//! release-store publish per shard pair per window, no coordinator in the
+//! loop. The per-window horizon remains exactly `W = global-min-next +
+//! L`, so the event sequence (and therefore every byte of output) is
+//! identical to the per-window protocol; epochs batch only the
+//! synchronization transport. An epoch ends — at every shard in the same
+//! window, since all break decisions read the same shared slots — when
+//! the fabric drains, the window cap is hit, the engine event budget is
+//! exceeded, or the running iteration completes (detected via the
+//! completion-count slots; boundary bookkeeping, jitter draws and
+//! next-iteration wakes stay coordinator-side, so records still in the
+//! rings at the break are returned with the epoch response and re-injected
+//! by the coordinator *after* the new iteration's wakes, preserving the
+//! legacy sequence-number order). The inline backend drives the identical
+//! per-window phase methods over all shards from the coordinator thread —
+//! same code, same order, no barriers needed.
+//!
 //! ## Why the result is byte-identical to an unsharded run
 //!
 //! * Every link, switch, host and flow endpoint has exactly one owning
@@ -55,6 +82,14 @@
 //! * if the only remaining transfers complete at `S_f` itself, `S_f` is
 //!   armed with a countdown: its in-shard application applies the flip the
 //!   moment the last one completes.
+//!
+//! Under epoch batching the same three-way decision runs *inside* the
+//! epoch (an "armed epoch", seeded by [`EpochArm`]): each window the
+//! other shards run first and publish their cumulative completion counts
+//! and max completion times, and `S_f` replays the decision locally
+//! before running its window last — the identical dependency structure,
+//! without a coordinator round trip per window. Only an `FP_SHARD_EPOCH=1`
+//! run still takes the coordinator-mediated armed rounds above.
 
 use crate::runner::{MeasuredSubset, RunnerConfig};
 use crate::schedule::{Schedule, Transfer};
@@ -66,11 +101,12 @@ use fp_netsim::fault::{FaultAction, FaultEvent, FaultKind};
 use fp_netsim::ids::{HostId, LinkId, NodeId};
 use fp_netsim::packet::{CollectiveTag, FlowId, Priority};
 use fp_netsim::shard::{
-    spsc, RemoteOpen, RemotePfc, RemotePkt, ShardPlan, SpscReceiver, SpscSender,
+    batch_ring, spsc, BatchReceiver, BatchSender, RemoteOpen, RemotePfc, RemotePkt, ShardPlan,
+    SpscReceiver, SpscSender, MAX_EPOCH_WINDOWS,
 };
 use fp_netsim::sim::{IterSpanRecord, Simulator};
 use fp_netsim::stats::Stats;
-use fp_netsim::time::SimTime;
+use fp_netsim::time::{SimDuration, SimTime};
 use fp_netsim::topology::Topology;
 use fp_netsim::trace::TraceRecord;
 use fp_telemetry::{LinkSample, TapRecorder};
@@ -79,6 +115,8 @@ use rand::SeedableRng;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One scheduled fault flip: apply `action` to `link` at the start of
 /// iteration `at_iter` (the instant iteration `at_iter − 1` completes, or
@@ -124,8 +162,15 @@ pub struct ShardedOutcome {
     pub shard_events: Vec<u64>,
     /// Simulated time the first `FaultAction::Set` flip landed.
     pub install_ns: Option<u64>,
-    /// Horizon-sync rounds the run took (perf telemetry).
-    pub rounds: u64,
+    /// Conservative windows the run advanced (perf telemetry). Every
+    /// window is one `W = min-next + L` horizon, whether it ran inside an
+    /// epoch or as a standalone round.
+    pub windows: u64,
+    /// Coordinator synchronization round-trips. The per-window protocol
+    /// has `syncs == windows`; the epoch protocol amortizes one sync over
+    /// up to `FP_SHARD_EPOCH` windows, so `windows / syncs` is the
+    /// measured amortization factor.
+    pub syncs: u64,
     /// Merged per-shard telemetry streams, present when the run was asked
     /// to tap telemetry (`tap_interval` in [`run_sharded`]). The caller
     /// replays these into its real recorder in unsharded hook order.
@@ -173,6 +218,11 @@ struct PendingArm {
 struct ShardShared {
     iter: u32,
     completions: Vec<(SimTime, u32)>,
+    /// Max completion time this shard has ever produced (monotone across
+    /// iterations). Armed epochs fold it into the boundary floor; stale
+    /// prior-iteration values are provably below every completion of the
+    /// running iteration, so the max is exact wherever the floor matters.
+    comp_floor: SimTime,
     pending: Option<PendingArm>,
     /// Scheduler events this shard created purely to coordinate (fault
     /// updates standing in for the unsharded synchronous hook); subtracted
@@ -271,6 +321,7 @@ impl Application for ShardApp {
         let fire = {
             let mut sh = self.shared.borrow_mut();
             sh.completions.push((now, t));
+            sh.comp_floor = sh.comp_floor.max(now);
             match sh.pending.as_mut() {
                 Some(p) => {
                     p.remaining -= 1;
@@ -291,6 +342,169 @@ impl Application for ShardApp {
 }
 
 // ---------------------------------------------------------------------
+// Epoch synchronization (threaded backend)
+// ---------------------------------------------------------------------
+
+/// Reusable generation-counting spin barrier. Shard counts are at most a
+/// few per core and every wait is bounded by one window of simulation, so
+/// waiters spin briefly then yield — the E10 sweep already showed parked
+/// retries beat condvar handoffs ~4× at this handoff rate, and a barrier
+/// round is cheaper still (no mutex, no syscall on the fast path).
+struct SpinBarrier {
+    n: u32,
+    count: AtomicU32,
+    generation: AtomicU64,
+}
+
+impl SpinBarrier {
+    fn new(n: u32) -> SpinBarrier {
+        SpinBarrier {
+            n,
+            count: AtomicU32::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Block until all `n` participants arrive. The last arriver resets
+    /// the count before bumping the generation, so the reset is visible
+    /// (release → acquire on `generation`) to every waiter before it can
+    /// re-enter.
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation
+                .store(generation.wrapping_add(1), Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == generation {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                // Oversubscribed hosts (or a single core) must let the
+                // other shard workers run at all.
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// One per-shard value on its own cache line: shards publish into their
+/// slot and read all others, so sharing lines across writers would ping
+/// the whole array on every store.
+#[repr(align(64))]
+struct Slot(AtomicU64);
+
+/// The in-epoch synchronization state shared by all shard workers: the
+/// double-barrier (publish → wait → read) discipline means every slot has
+/// exactly one writer and is quiescent whenever anyone reads it, so all
+/// shards see identical values and take identical break decisions — which
+/// is what keeps their barrier counts aligned (no deadlock) and the epoch
+/// length deterministic.
+struct EpochShared {
+    barrier: SpinBarrier,
+    /// Per-shard next-event time (`u64::MAX` = drained), published before
+    /// barrier A of every window; the global min reconstructs the exact
+    /// per-window horizon `W = gmin + L` of the legacy protocol.
+    next: Vec<Slot>,
+    /// Per-shard cumulative engine events, published before barrier B —
+    /// the sum replicates the coordinator's `max_events` safety stop.
+    events: Vec<Slot>,
+    /// Per-shard cumulative workload completions, published before
+    /// barrier B — the sum crossing the coordinator-supplied target is
+    /// the iteration boundary (bookkeeping returns to the coordinator).
+    comps: Vec<Slot>,
+    /// Per-shard max completion time ever produced, published alongside
+    /// `comps`. The fault owner of an armed epoch reads the others' slots
+    /// to reconstruct the boundary floor exactly as the legacy
+    /// coordinator did from collected completions.
+    floors: Vec<Slot>,
+}
+
+impl EpochShared {
+    fn new(n: u32) -> EpochShared {
+        let slots = |v: u64| (0..n).map(|_| Slot(AtomicU64::new(v))).collect::<Vec<_>>();
+        EpochShared {
+            barrier: SpinBarrier::new(n),
+            next: slots(0),
+            events: slots(0),
+            comps: slots(0),
+            floors: slots(0),
+        }
+    }
+}
+
+/// Sending half of one shard's batched mailboxes to one peer.
+struct PeerTx {
+    opens: BatchSender<RemoteOpen>,
+    pkts: BatchSender<RemotePkt>,
+    pfcs: BatchSender<RemotePfc>,
+}
+
+/// Receiving half of one shard's batched mailboxes from one peer.
+struct PeerRx {
+    opens: BatchReceiver<RemoteOpen>,
+    pkts: BatchReceiver<RemotePkt>,
+    pfcs: BatchReceiver<RemotePfc>,
+}
+
+/// One shard's view of the epoch fabric: the shared slot array plus its
+/// row (senders, indexed by destination) and column (receivers, indexed
+/// by source) of the all-pairs batch-ring matrix. `None` on the diagonal
+/// — a shard's outbox never routes to itself.
+struct EpochLinks {
+    shared: Arc<EpochShared>,
+    tx: Vec<Option<PeerTx>>,
+    rx: Vec<Option<PeerRx>>,
+    lookahead: SimDuration,
+}
+
+/// Build the all-pairs epoch fabric for `n` shards.
+#[allow(clippy::needless_range_loop)] // src/dst index two matrices symmetrically
+fn epoch_fabric(n: u32, lookahead: SimDuration) -> Vec<EpochLinks> {
+    let shared = Arc::new(EpochShared::new(n));
+    let n = n as usize;
+    let mut txs: Vec<Vec<Option<PeerTx>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut rxs: Vec<Vec<Option<PeerRx>>> = (0..n).map(|_| Vec::new()).collect();
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                txs[src].push(None);
+                rxs[dst].push(None);
+                continue;
+            }
+            // Capacity 2 suffices — at most one batch per stream is ever
+            // in flight under the barrier discipline — but 4 keeps the
+            // full-ring panic strictly a protocol-violation signal.
+            let (otx, orx) = batch_ring(4);
+            let (ptx, prx) = batch_ring(4);
+            let (ftx, frx) = batch_ring(4);
+            txs[src].push(Some(PeerTx {
+                opens: otx,
+                pkts: ptx,
+                pfcs: ftx,
+            }));
+            rxs[dst].push(Some(PeerRx {
+                opens: orx,
+                pkts: prx,
+                pfcs: frx,
+            }));
+        }
+    }
+    txs.into_iter()
+        .zip(rxs)
+        .map(|(tx, rx)| EpochLinks {
+            shared: shared.clone(),
+            tx,
+            rx,
+            lookahead,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // Commands and responses (identical for the inline and threaded backends)
 // ---------------------------------------------------------------------
 
@@ -298,6 +512,30 @@ impl Application for ShardApp {
 /// remain before the boundary, the earliest instant the flip may land,
 /// and the fault actions to apply when it does.
 type ArmedFlip = (u32, SimTime, Vec<(LinkId, FaultAction)>);
+
+/// Coordinator-computed seed for an *armed epoch*: an epoch that may have
+/// to fire iteration-boundary fault flips mid-stream. It snapshots the
+/// legacy armed round's inputs at epoch start, so the fault owner can
+/// replay the per-window arm/install decision locally from the counters
+/// the other shards publish — the same dependency structure (owner runs
+/// last, with every other shard's window already in), executed
+/// peer-to-peer instead of through a coordinator round trip per window.
+#[derive(Clone)]
+struct EpochArm {
+    /// Shard owning the faulted links (`S_f`).
+    owner: u32,
+    /// Outstanding completions landing at the owner, at epoch start.
+    m_at_sf: u32,
+    /// Outstanding completions landing anywhere else, at epoch start.
+    rem_elsewhere: u32,
+    /// Sum of the *other* shards' cumulative completion counts at epoch
+    /// start — the baseline their published counters are read against.
+    others_base: u64,
+    /// Max completion time of the running iteration, at epoch start.
+    floor: SimTime,
+    /// The flips to land at the iteration boundary.
+    flips: Vec<(LinkId, FaultAction)>,
+}
 
 /// One coordinator→shard command. All payloads are `Send` so the same
 /// protocol drives in-process execution and worker threads.
@@ -319,11 +557,27 @@ enum Cmd {
     /// Run all events strictly below the horizon; reply with a window
     /// response.
     Window(SimTime),
+    /// Advance up to `cap` windows peer-to-peer (barrier-synchronized,
+    /// records over the batch rings), breaking early when the fabric
+    /// drains, the engine event budget trips, or the cumulative
+    /// completion count reaches `stop_comps` (the running iteration's
+    /// boundary); reply with one window response covering the whole
+    /// epoch. With `arm`, the epoch is *armed*: each window the fault
+    /// owner runs last and replays the legacy boundary-flip decision
+    /// locally (see [`EpochArm`]).
+    Epoch {
+        cap: u32,
+        stop_comps: u64,
+        arm: Option<EpochArm>,
+    },
     /// Tear down and reply with the shard's final artifacts.
     Finish,
 }
 
-/// Per-window barrier data returned by every shard.
+/// Per-round barrier data returned by every shard: one window's worth for
+/// [`Cmd::Window`], a whole epoch's for [`Cmd::Epoch`] (where the record
+/// vectors hold only the *leftovers* still in the shard's inbound rings at
+/// the epoch break — everything else was exchanged peer-to-peer).
 struct WindowResp {
     next: Option<SimTime>,
     opens: Vec<RemoteOpen>,
@@ -333,6 +587,8 @@ struct WindowResp {
     /// Cumulative engine events (including coordination artifacts).
     events: u64,
     install_ns: Option<u64>,
+    /// Conservative windows this response covers (1 for [`Cmd::Window`]).
+    windows: u64,
 }
 
 /// Final artifacts returned by every shard.
@@ -387,6 +643,9 @@ struct ShardSeed {
     children: Vec<Vec<u32>>,
     /// Attach a telemetry tap sampling at this period (`None` = no tap).
     tap_interval: Option<u64>,
+    /// The shard's slice of the epoch fabric (`None` when single-shard —
+    /// epochs never run there).
+    links: Option<EpochLinks>,
 }
 
 /// One shard's simulator plus its command loop, shared verbatim between
@@ -394,10 +653,28 @@ struct ShardSeed {
 struct ShardExec {
     sim: Simulator,
     shared: Rc<RefCell<ShardShared>>,
+    shard: u32,
+    plan: ShardPlan,
+    links: Option<EpochLinks>,
+    max_events: u64,
+    /// Completions already returned to the coordinator in prior responses
+    /// (the cumulative completion count published to the epoch slots is
+    /// `comps_reported + pending`).
+    comps_reported: u64,
+    /// Per-destination-shard staging for outbox records, reused across
+    /// windows (drained by every ring publish).
+    stage_opens: Vec<Vec<RemoteOpen>>,
+    stage_pkts: Vec<Vec<RemotePkt>>,
+    stage_pfcs: Vec<Vec<RemotePfc>>,
 }
 
 impl ShardExec {
     fn build(seed: ShardSeed) -> ShardExec {
+        let shard = seed.shard;
+        let plan = seed.plan.clone();
+        let links = seed.links;
+        let max_events = seed.cfg.max_events;
+        let n = plan.n_shards as usize;
         // Known (admin-down) faults are routing state: every shard's view
         // of the fabric must exclude them from spray candidate sets, so
         // they are applied on all shards — but only the link owner's shard
@@ -438,7 +715,18 @@ impl ShardExec {
             children: seed.children,
             scratch: Vec::new(),
         }));
-        ShardExec { sim, shared }
+        ShardExec {
+            sim,
+            shared,
+            shard,
+            plan,
+            links,
+            max_events,
+            comps_reported: 0,
+            stage_opens: (0..n).map(|_| Vec::new()).collect(),
+            stage_pkts: (0..n).map(|_| Vec::new()).collect(),
+            stage_pfcs: (0..n).map(|_| Vec::new()).collect(),
+        }
     }
 
     fn exec(&mut self, cmd: Cmd) -> Option<Resp> {
@@ -457,9 +745,7 @@ impl ShardExec {
                 for o in &opens {
                     self.sim.shard_open_flow(o);
                 }
-                for p in pkts {
-                    self.sim.shard_inject_pkt(p.at, p.link, p.pkt);
-                }
+                self.sim.shard_inject_pkts(&pkts);
                 for p in pfcs {
                     self.sim.shard_inject_pfc(p.at, p.link, p.prio, p.pause);
                 }
@@ -483,16 +769,24 @@ impl ShardExec {
                 self.sim.run_window(end);
                 let outbox = self.sim.shard_take_outbox();
                 let mut sh = self.shared.borrow_mut();
+                let completions = std::mem::take(&mut sh.completions);
+                self.comps_reported += completions.len() as u64;
                 Some(Resp::Window(Box::new(WindowResp {
                     next: self.sim.next_event_time(),
                     opens: outbox.opens,
                     pkts: outbox.pkts,
                     pfcs: outbox.pfcs,
-                    completions: std::mem::take(&mut sh.completions),
+                    completions,
                     events: self.sim.stats.events,
                     install_ns: sh.install_ns,
+                    windows: 1,
                 })))
             }
+            Cmd::Epoch {
+                cap,
+                stop_comps,
+                arm,
+            } => Some(Resp::Window(self.run_epoch_threaded(cap, stop_comps, arm))),
             Cmd::Finish => {
                 self.sim.sampler_flush_final();
                 let tap = self.sim.take_recorder().map(|mut rec| {
@@ -526,6 +820,341 @@ impl ShardExec {
             }
         }
     }
+
+    /// Cumulative workload completions: already reported plus pending.
+    fn comp_total(&self) -> u64 {
+        self.comps_reported + self.shared.borrow().completions.len() as u64
+    }
+
+    /// One epoch window: run all events strictly below `w`, then route the
+    /// outbox per destination shard and publish each nonempty stream as a
+    /// single batch (one release store each).
+    fn epoch_window(&mut self, links: &EpochLinks, w: SimTime) {
+        self.sim.run_window(w);
+        let outbox = self.sim.shard_take_outbox();
+        for o in outbox.opens {
+            let dst = self.plan.owner(NodeId::Host(o.dst)) as usize;
+            self.stage_opens[dst].push(o);
+        }
+        for p in outbox.pkts {
+            let dst = self.plan.link_dst_owner(&self.sim.topo, p.link) as usize;
+            self.stage_pkts[dst].push(p);
+        }
+        for p in outbox.pfcs {
+            let dst = self.plan.link_owner(&self.sim.topo, p.link) as usize;
+            self.stage_pfcs[dst].push(p);
+        }
+        for (dst, tx) in links.tx.iter().enumerate() {
+            let Some(tx) = tx else {
+                debug_assert!(
+                    self.stage_opens[dst].is_empty()
+                        && self.stage_pkts[dst].is_empty()
+                        && self.stage_pfcs[dst].is_empty(),
+                    "outbox record routed to its own shard"
+                );
+                continue;
+            };
+            if !self.stage_opens[dst].is_empty() {
+                assert!(tx.opens.publish(&mut self.stage_opens[dst]), "ring full");
+            }
+            if !self.stage_pkts[dst].is_empty() {
+                assert!(tx.pkts.publish(&mut self.stage_pkts[dst]), "ring full");
+            }
+            if !self.stage_pfcs[dst].is_empty() {
+                assert!(tx.pfcs.publish(&mut self.stage_pfcs[dst]), "ring full");
+            }
+        }
+    }
+
+    /// Drain every peer ring (source shards ascending — the same stable
+    /// pre-sort order the coordinator's route loop produces), sort by the
+    /// legacy injection keys, and inject. Byte-identical to a
+    /// [`Cmd::Inject`] built from the same records.
+    fn epoch_drain_inject(&mut self, links: &EpochLinks) {
+        let mut opens: Vec<RemoteOpen> = Vec::new();
+        let mut pkts: Vec<RemotePkt> = Vec::new();
+        let mut pfcs: Vec<RemotePfc> = Vec::new();
+        for rx in links.rx.iter().flatten() {
+            rx.opens.drain_into(&mut opens);
+            rx.pkts.drain_into(&mut pkts);
+            rx.pfcs.drain_into(&mut pfcs);
+        }
+        if opens.is_empty() && pkts.is_empty() && pfcs.is_empty() {
+            return;
+        }
+        opens.sort_by_key(|o| (o.at, o.global));
+        pkts.sort_by_key(|p| (p.at, p.link.0));
+        pfcs.sort_by_key(|p| (p.at, p.link.0, p.prio));
+        for o in &opens {
+            self.sim.shard_open_flow(o);
+        }
+        self.sim.shard_inject_pkts(&pkts);
+        for p in pfcs {
+            self.sim.shard_inject_pfc(p.at, p.link, p.prio, p.pause);
+        }
+    }
+
+    /// Build the epoch response: whatever is still in the inbound rings at
+    /// the break (records addressed to this shard) rides back to the
+    /// coordinator, which re-injects it after any iteration-boundary
+    /// wakes — the legacy ordering.
+    fn epoch_resp(&mut self, links: &EpochLinks, windows: u64) -> Box<WindowResp> {
+        let mut opens: Vec<RemoteOpen> = Vec::new();
+        let mut pkts: Vec<RemotePkt> = Vec::new();
+        let mut pfcs: Vec<RemotePfc> = Vec::new();
+        for rx in links.rx.iter().flatten() {
+            rx.opens.drain_into(&mut opens);
+            rx.pkts.drain_into(&mut pkts);
+            rx.pfcs.drain_into(&mut pfcs);
+        }
+        let mut sh = self.shared.borrow_mut();
+        let completions = std::mem::take(&mut sh.completions);
+        self.comps_reported += completions.len() as u64;
+        Box::new(WindowResp {
+            next: self.sim.next_event_time(),
+            opens,
+            pkts,
+            pfcs,
+            completions,
+            events: self.sim.stats.events,
+            install_ns: sh.install_ns,
+            windows,
+        })
+    }
+
+    /// Publish this shard's post-window counters — cumulative engine
+    /// events, cumulative completions, max completion time — to its
+    /// epoch slots (one release store each).
+    fn epoch_publish(&self, sh: &EpochShared) {
+        let me = self.shard as usize;
+        sh.events[me]
+            .0
+            .store(self.sim.stats.events, Ordering::Release);
+        sh.comps[me].0.store(self.comp_total(), Ordering::Release);
+        sh.floors[me]
+            .0
+            .store(self.shared.borrow().comp_floor.as_ns(), Ordering::Release);
+    }
+
+    /// The fault owner's per-window decision inside an armed epoch: the
+    /// legacy coordinator's three-way arm/install protocol, replayed
+    /// locally from published counters. `others_comps` / `others_floor`
+    /// must cover every *other* shard through the current window (they
+    /// run before the owner), while the owner's own state covers windows
+    /// strictly before it — exactly the information the legacy round had
+    /// when it commanded `S_f` last.
+    fn epoch_arm_decide(&mut self, a: &EpochArm, others_comps: u64, others_floor: SimTime) {
+        let (own_comps, own_floor) = {
+            let sh = self.shared.borrow();
+            (sh.completions.len() as u64, sh.comp_floor)
+        };
+        let elsewhere_delta = others_comps - a.others_base;
+        debug_assert!(elsewhere_delta <= u64::from(a.rem_elsewhere));
+        debug_assert!(own_comps <= u64::from(a.m_at_sf));
+        let rem_elsewhere = a.rem_elsewhere - elsewhere_delta as u32;
+        let m_at_sf = a.m_at_sf - own_comps as u32;
+        // Stale floor contributions (prior iterations) predate every
+        // completion of the running iteration, so the max is exact in
+        // both cases where the floor is consumed below.
+        let floor = a.floor.max(own_floor).max(others_floor);
+        let mut sh = self.shared.borrow_mut();
+        if rem_elsewhere == 0 && m_at_sf == 0 {
+            // The iteration just ended at the other shards: the boundary
+            // time is exact; land the flips before this window runs.
+            sh.pending = None;
+            apply_flips(&mut self.sim, &mut sh, &a.flips, floor);
+        } else if rem_elsewhere == 0 {
+            // Every remaining completion lands at the owner itself: arm
+            // the countdown (overwriting any partial arm from a previous
+            // window with recomputed numbers).
+            sh.pending = Some(PendingArm {
+                remaining: m_at_sf,
+                floor,
+                actions: a.flips.clone(),
+            });
+        } else {
+            // The iteration cannot end this window; clear any stale arm.
+            sh.pending = None;
+        }
+    }
+
+    /// The threaded backend's epoch loop: lockstep with the sibling
+    /// workers over the shared slots and spin barrier. Every break
+    /// condition is evaluated on slot values that are quiescent between
+    /// the two barriers around them, so all shards break in the same
+    /// window and barrier counts stay aligned. Armed epochs add a third
+    /// barrier per window so the fault owner's window runs strictly
+    /// after everyone else's.
+    fn run_epoch_threaded(
+        &mut self,
+        cap: u32,
+        stop_comps: u64,
+        arm: Option<EpochArm>,
+    ) -> Box<WindowResp> {
+        debug_assert!(
+            arm.is_some() || self.shared.borrow().pending.is_none(),
+            "plain epoch round with an armed fault countdown"
+        );
+        let links = self.links.take().expect("epoch without links");
+        let sh = &links.shared;
+        let me = self.shard as usize;
+        let n = sh.next.len();
+        let owner = arm.as_ref().map(|a| a.owner as usize);
+        let mut windows = 0u64;
+        loop {
+            let next = self.sim.next_event_time().map_or(u64::MAX, |t| t.as_ns());
+            sh.next[me].0.store(next, Ordering::Release);
+            sh.barrier.wait(); // A: everyone published `next`
+            let gmin = (0..n)
+                .map(|s| sh.next[s].0.load(Ordering::Acquire))
+                .min()
+                .expect("at least one shard");
+            if gmin == u64::MAX {
+                // Fully drained. Rings are empty by construction: the last
+                // flush (barrier B) was followed by a full drain before
+                // anyone re-published `next`.
+                break;
+            }
+            let w = SimTime::from_ns(gmin) + links.lookahead;
+            match owner {
+                None => {
+                    self.epoch_window(&links, w);
+                    self.epoch_publish(sh);
+                    sh.barrier.wait(); // B: everyone flushed + published
+                }
+                Some(sf) if sf != me => {
+                    // Armed epoch, non-owner: run and publish first, then
+                    // hold at C while the owner takes its turn.
+                    self.epoch_window(&links, w);
+                    self.epoch_publish(sh);
+                    sh.barrier.wait(); // B
+                    sh.barrier.wait(); // C: owner flushed + published
+                }
+                Some(_) => {
+                    // Armed epoch, fault owner: wait for every other
+                    // shard's window (barrier B), replay the legacy
+                    // arm/install decision from their published counters,
+                    // then run last.
+                    sh.barrier.wait(); // B
+                    let a = arm.as_ref().expect("owner implies arm");
+                    let others_comps: u64 = (0..n)
+                        .filter(|&s| s != me)
+                        .map(|s| sh.comps[s].0.load(Ordering::Acquire))
+                        .sum();
+                    let others_floor = (0..n)
+                        .filter(|&s| s != me)
+                        .map(|s| sh.floors[s].0.load(Ordering::Acquire))
+                        .max()
+                        .map_or(SimTime::ZERO, SimTime::from_ns);
+                    self.epoch_arm_decide(a, others_comps, others_floor);
+                    self.epoch_window(&links, w);
+                    self.epoch_publish(sh);
+                    sh.barrier.wait(); // C
+                }
+            }
+            windows += 1;
+            let comps: u64 = (0..n).map(|s| sh.comps[s].0.load(Ordering::Acquire)).sum();
+            let events: u64 = (0..n).map(|s| sh.events[s].0.load(Ordering::Acquire)).sum();
+            if comps >= stop_comps || windows >= cap as u64 || events >= self.max_events {
+                // Leftovers stay in the rings for `epoch_resp`.
+                break;
+            }
+            self.epoch_drain_inject(&links);
+        }
+        let resp = self.epoch_resp(&links, windows);
+        self.links = Some(links);
+        resp
+    }
+}
+
+/// The inline backend's epoch driver: the identical per-window phase
+/// sequence as [`ShardExec::run_epoch_threaded`], executed round-robin
+/// over all shards from the coordinator thread (shared data needs no
+/// barriers — phase order supplies the synchronization, including the
+/// armed-epoch rule that the fault owner's window runs last). Same phase
+/// methods, same per-stream batch rings, same break predicates on the
+/// same sums — so the two backends are byte-identical by construction.
+#[allow(clippy::vec_box)] // boxed to share the threaded handles' response type
+fn run_epoch_inline(
+    handles: &mut [ShardHandle],
+    cap: u32,
+    stop_comps: u64,
+    arm: Option<EpochArm>,
+) -> Vec<Box<WindowResp>> {
+    let mut execs: Vec<&mut ShardExec> = handles
+        .iter_mut()
+        .map(|h| match h {
+            ShardHandle::Inline(e, _) => &mut **e,
+            ShardHandle::Thread { .. } => unreachable!("inline epoch over a threaded handle"),
+        })
+        .collect();
+    let lookahead = execs[0]
+        .links
+        .as_ref()
+        .expect("epoch without links")
+        .lookahead;
+    let max_events = execs[0].max_events;
+    let owner = arm.as_ref().map(|a| a.owner as usize);
+    let mut windows = 0u64;
+    loop {
+        let gmin = execs
+            .iter_mut()
+            .filter_map(|e| e.sim.next_event_time())
+            .min();
+        let Some(gmin) = gmin else { break };
+        let w = gmin + lookahead;
+        for (s, e) in execs.iter_mut().enumerate() {
+            if owner == Some(s) {
+                continue;
+            }
+            let links = e.links.take().expect("epoch without links");
+            e.epoch_window(&links, w);
+            e.links = Some(links);
+        }
+        if let (Some(sf), Some(a)) = (owner, arm.as_ref()) {
+            // Armed epoch: the owner decides with every other shard's
+            // window already in — the live reads here see exactly the
+            // values the threaded backend publishes before barrier B.
+            let others_comps: u64 = execs
+                .iter()
+                .enumerate()
+                .filter(|&(s, _)| s != sf)
+                .map(|(_, e)| e.comp_total())
+                .sum();
+            let others_floor = execs
+                .iter()
+                .enumerate()
+                .filter(|&(s, _)| s != sf)
+                .map(|(_, e)| e.shared.borrow().comp_floor)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            let e = &mut *execs[sf];
+            e.epoch_arm_decide(a, others_comps, others_floor);
+            let links = e.links.take().expect("epoch without links");
+            e.epoch_window(&links, w);
+            e.links = Some(links);
+        }
+        windows += 1;
+        let comps: u64 = execs.iter().map(|e| e.comp_total()).sum();
+        let events: u64 = execs.iter().map(|e| e.sim.stats.events).sum();
+        if comps >= stop_comps || windows >= cap as u64 || events >= max_events {
+            break;
+        }
+        for e in execs.iter_mut() {
+            let links = e.links.take().expect("epoch without links");
+            e.epoch_drain_inject(&links);
+            e.links = Some(links);
+        }
+    }
+    execs
+        .into_iter()
+        .map(|e| {
+            let links = e.links.take().expect("epoch without links");
+            let r = e.epoch_resp(&links, windows);
+            e.links = Some(links);
+            r
+        })
+        .collect()
 }
 
 /// A shard handle: inline (commands execute on the calling thread) or
@@ -628,6 +1257,12 @@ impl ShardHandle {
 /// selects worker threads (one per shard) versus inline round-robin
 /// execution; both produce identical results.
 ///
+/// `epoch` caps how many conservative windows may run per coordinator
+/// synchronization (see the module docs; clamped to
+/// `1..=`[`MAX_EPOCH_WINDOWS`], `1` = the legacy per-window protocol).
+/// The window schedule — and therefore every output byte — is identical
+/// at every setting; only the synchronization transport changes.
+///
 /// `admin_down` lists known-fault links applied to every shard's routing
 /// at `t = 0`; `faults` schedules silent-fault flips at iteration
 /// boundaries. All flips must target links owned by one shard (the
@@ -644,6 +1279,7 @@ pub fn run_sharded(
     seed: u64,
     shards: u32,
     threaded: bool,
+    epoch: u32,
     sched: Schedule,
     rcfg: RunnerConfig,
     admin_down: &[LinkId],
@@ -652,7 +1288,33 @@ pub fn run_sharded(
 ) -> ShardedOutcome {
     sched.validate().expect("invalid schedule");
     assert!(rcfg.iterations > 0, "at least one iteration");
-    let plan = ShardPlan::new(topo, shards);
+    let epoch_cap = epoch.clamp(1, MAX_EPOCH_WINDOWS);
+    // Topology-aware planning: balance per-shard event load by weighting
+    // each partition unit (leaf, or pod on a 3-level Clos) with the
+    // number of transfer endpoints it hosts. Symmetric collectives have
+    // uniform weights and keep the round-robin partition exactly.
+    let plan = {
+        let three = topo.is_three_level();
+        let units = if three {
+            topo.pods
+        } else {
+            topo.n_leaves() as u32
+        };
+        let mut loads = vec![0u64; units as usize];
+        let unit_of = |h: HostId| -> usize {
+            let leaf = topo.host_leaf[h.idx()];
+            if three {
+                topo.pod_of_leaf(leaf) as usize
+            } else {
+                leaf as usize
+            }
+        };
+        for t in &sched.transfers {
+            loads[unit_of(t.src)] += 1;
+            loads[unit_of(t.dst)] += 1;
+        }
+        ShardPlan::with_loads(topo, shards, &loads)
+    };
     let n = plan.n_shards;
     let lookahead = plan.lookahead;
     // A window never spans from one iteration's end into the next one's
@@ -695,6 +1357,11 @@ pub fn run_sharded(
         .map(|t| plan.owner(NodeId::Host(t.dst)))
         .collect();
 
+    let mut fabric: Vec<Option<EpochLinks>> = if n > 1 {
+        epoch_fabric(n, lookahead).into_iter().map(Some).collect()
+    } else {
+        vec![None]
+    };
     let mut handles: Vec<ShardHandle> = (0..n)
         .map(|s| {
             let seed_data = ShardSeed {
@@ -711,6 +1378,7 @@ pub fn run_sharded(
                 transfers: sched.transfers.clone(),
                 children: children.clone(),
                 tap_interval,
+                links: fabric[s as usize].take(),
             };
             if threaded {
                 ShardHandle::threaded(seed_data)
@@ -810,14 +1478,26 @@ pub fn run_sharded(
     let max_events = cfg.max_events;
     let mut total_events: u64 = 0;
     let mut install_ns: Option<u64> = None;
-    let mut rounds: u64 = 0;
+    let mut windows_total: u64 = 0;
+    let mut syncs: u64 = 0;
+    // Completions the coordinator has consumed so far; shards publish
+    // their cumulative counts, so `comps_processed + outstanding` is the
+    // epoch's stop target (the running iteration's boundary).
+    let mut comps_processed: u64 = 0;
+    // Last reported cumulative engine events per shard, carried across
+    // rounds that skip (or epoch-break before re-reporting) a shard.
+    let mut events_by: Vec<u64> = vec![0; n as usize];
+    // Cumulative completions per shard — the coordinator-side mirror of
+    // each shard's published count, baselining armed-epoch deltas.
+    let mut comps_by: Vec<u64> = vec![0; n as usize];
+    let epoch_eligible = n > 1 && epoch_cap > 1;
 
     // The conservative-lockstep round loop; exits when fully drained.
     while let Some(min_next) = nexts.iter().flatten().min().copied() {
         if total_events >= max_events {
             break; // safety stop, mirroring the unsharded engine's guard
         }
-        rounds += 1;
+        syncs += 1;
         let w = min_next + lookahead;
 
         // Flips that would land if the current iteration ends inside this
@@ -830,16 +1510,101 @@ pub fn run_sharded(
 
         let mut resps: Vec<Option<Box<WindowResp>>> = (0..n as usize).map(|_| None).collect();
 
-        if boundary_flips.is_empty() {
-            for h in handles.iter_mut() {
-                h.send(Cmd::Window(w));
+        if epoch_eligible {
+            // Epoch round: shards advance up to `epoch_cap` windows
+            // peer-to-peer; the coordinator only supplies the iteration
+            // stop target. Post-final-iteration drain rounds have no
+            // outstanding transfers and can produce no completions, so
+            // the target is unreachable there by construction.
+            let stop_comps = if outstanding == 0 {
+                u64::MAX
+            } else {
+                comps_processed + outstanding as u64
+            };
+            // Boundary flips ride into the epoch as an armed sub-protocol
+            // (see [`EpochArm`]): each window the other shards run first
+            // and publish completion counts and max completion times, and
+            // the fault owner replays the legacy per-window arm/install
+            // decision locally before running its own window last.
+            let arm = if boundary_flips.is_empty() {
+                None
+            } else {
+                let sf = fault_owner.expect("boundary flips imply an owner");
+                let mut m_at_sf = 0u32;
+                let mut rem_elsewhere = 0u32;
+                for t in 0..n_transfers as usize {
+                    if !done[t] {
+                        if comp_shard[t] == sf {
+                            m_at_sf += 1;
+                        } else {
+                            rem_elsewhere += 1;
+                        }
+                    }
+                }
+                let others_base = comps_by
+                    .iter()
+                    .enumerate()
+                    .filter(|&(s, _)| s != sf as usize)
+                    .map(|(_, &c)| c)
+                    .sum();
+                Some(EpochArm {
+                    owner: sf,
+                    m_at_sf,
+                    rem_elsewhere,
+                    others_base,
+                    floor: iter_max_completion,
+                    flips: boundary_flips.clone(),
+                })
+            };
+            if threaded {
+                for h in handles.iter_mut() {
+                    h.send(Cmd::Epoch {
+                        cap: epoch_cap,
+                        stop_comps,
+                        arm: arm.clone(),
+                    });
+                }
+                for (s, h) in handles.iter_mut().enumerate() {
+                    resps[s] = Some(h.window());
+                }
+            } else {
+                for (s, r) in run_epoch_inline(&mut handles, epoch_cap, stop_comps, arm)
+                    .into_iter()
+                    .enumerate()
+                {
+                    resps[s] = Some(r);
+                }
+            }
+            let wnd = resps[0].as_ref().expect("every shard answered").windows;
+            debug_assert!(
+                resps
+                    .iter()
+                    .all(|r| r.as_ref().is_some_and(|r| r.windows == wnd)),
+                "epoch window counts diverged across shards"
+            );
+            windows_total += wnd;
+        } else if boundary_flips.is_empty() {
+            // Legacy per-window round (epoch cap 1, or a single shard).
+            // Null-message-style skip: a shard whose next event is at or
+            // past the horizon runs no events, emits nothing and completes
+            // nothing — `run_window` is a pure no-op there — so it is not
+            // commanded at all and its last report stays valid.
+            windows_total += 1;
+            let skip: Vec<bool> = nexts.iter().map(|t| t.is_none_or(|t| t >= w)).collect();
+            for (s, h) in handles.iter_mut().enumerate() {
+                if !skip[s] {
+                    h.send(Cmd::Window(w));
+                }
             }
             for (s, h) in handles.iter_mut().enumerate() {
-                resps[s] = Some(h.window());
+                if !skip[s] {
+                    resps[s] = Some(h.window());
+                }
             }
         } else {
             // Armed round: run the fault owner's window last, after the
             // boundary time has been pinned down by every other shard.
+            windows_total += 1;
             let sf = fault_owner.expect("boundary flips imply an owner") as usize;
             for (s, h) in handles.iter_mut().enumerate() {
                 if s != sf {
@@ -889,16 +1654,17 @@ pub fn run_sharded(
             resps[sf] = Some(handles[sf].window());
         }
 
-        // Barrier: merge responses.
+        // Barrier: merge responses. A `None` is a skipped idle shard —
+        // nothing ran there, so its previous report still stands.
         let mut round_completions: Vec<(SimTime, u32)> = Vec::new();
         let mut opens_by: Vec<Vec<RemoteOpen>> = vec![Vec::new(); n as usize];
         let mut pkts_by: Vec<Vec<RemotePkt>> = vec![Vec::new(); n as usize];
         let mut pfcs_by: Vec<Vec<RemotePfc>> = vec![Vec::new(); n as usize];
-        total_events = 0;
         for (s, r) in resps.iter_mut().enumerate() {
-            let r = r.as_mut().expect("every shard answered");
+            let Some(r) = r.as_mut() else { continue };
             nexts[s] = r.next;
-            total_events += r.events;
+            events_by[s] = r.events;
+            comps_by[s] += r.completions.len() as u64;
             if install_ns.is_none() {
                 install_ns = r.install_ns;
             }
@@ -913,6 +1679,8 @@ pub fn run_sharded(
                 pfcs_by[plan.link_owner(topo, p.link) as usize].push(p);
             }
         }
+        total_events = events_by.iter().sum();
+        comps_processed += round_completions.len() as u64;
 
         // Completions advance the iteration state machine in time order
         // (ties broken by transfer id; the tie-break never matters for the
@@ -1044,7 +1812,8 @@ pub fn run_sharded(
         sched: sched_stats,
         shard_events,
         install_ns,
-        rounds,
+        windows: windows_total,
+        syncs,
         telemetry,
     }
 }

@@ -137,6 +137,12 @@ pub struct TrialSpec {
     /// runs via per-shard taps merged back into unsharded hook order.
     #[serde(default)]
     pub shards: Option<u32>,
+    /// Epoch cap for sharded runs: how many conservative windows may run
+    /// per coordinator synchronization (`None` = `FP_SHARD_EPOCH`, default
+    /// 32; `1` = the per-window protocol). Results are byte-identical at
+    /// every setting — only the synchronization transport changes.
+    #[serde(default)]
+    pub shard_epoch: Option<u32>,
     /// Temporal-symmetry fast-forward: memoize steady-state collective
     /// iterations and replay their recorded deltas instead of simulating
     /// them (`None` = the `FP_MEMO` environment override, default off).
@@ -173,6 +179,7 @@ impl Default for TrialSpec {
             sim: SimConfig::default(),
             seed: 1,
             shards: None,
+            shard_epoch: None,
             memo: None,
         }
     }
@@ -331,6 +338,15 @@ pub struct TrialResult {
     /// runs). Sums to more than `stats.events` because boundary
     /// re-injections are counted once per side.
     pub shard_events: Vec<u64>,
+    /// Epoch cap the sharded run used (0 for unsharded runs).
+    pub shard_epoch: u32,
+    /// Conservative lookahead windows the sharded run advanced (0 for
+    /// unsharded runs).
+    pub shard_windows: u64,
+    /// Coordinator synchronization round-trips the sharded run took;
+    /// `shard_windows / shard_syncs` is the epoch protocol's measured
+    /// amortization factor (0 for unsharded runs).
+    pub shard_syncs: u64,
     /// Why a trial that *requested* sharding ran unsharded anyway
     /// (`None` when sharding was not requested or ran as asked). The same
     /// reason is printed to stderr and exported as a `shard_fallback`
@@ -474,6 +490,11 @@ struct FabricRun {
     shards: u32,
     /// Per-shard dispatched event counts (empty when unsharded).
     shard_events: Vec<u64>,
+    /// Epoch cap / windows / syncs of the sharded coordinator (all 0 when
+    /// unsharded).
+    shard_epoch: u32,
+    shard_windows: u64,
+    shard_syncs: u64,
     /// The recorder handed back by the simulator (unsharded), or the
     /// caller's recorder refilled from the merged per-shard taps
     /// (sharded; see [`fp_collectives::shard::ShardTelemetry`]).
@@ -710,12 +731,17 @@ pub fn run_trial_ctl(
             }
         }
         let tap_interval = recorder.as_ref().map(|r| r.sample_interval_ns());
+        let shard_epoch = spec
+            .shard_epoch
+            .unwrap_or_else(fp_netsim::shard::epoch_from_env)
+            .clamp(1, fp_netsim::shard::MAX_EPOCH_WINDOWS);
         let mut out = fp_collectives::shard::run_sharded(
             &topo,
             &spec.sim,
             spec.seed,
             shards,
             fp_collectives::shard::threaded_from_env(),
+            shard_epoch,
             sched,
             rcfg,
             &admin_down,
@@ -769,6 +795,9 @@ pub fn run_trial_ctl(
             end_ns,
             shards,
             shard_events: out.shard_events,
+            shard_epoch,
+            shard_windows: out.windows,
+            shard_syncs: out.syncs,
             recorder,
             memo: None,
         }
@@ -825,6 +854,9 @@ pub fn run_trial_ctl(
             end_ns,
             shards: 1,
             shard_events: Vec::new(),
+            shard_epoch: 0,
+            shard_windows: 0,
+            shard_syncs: 0,
             recorder: sim.take_recorder(),
             memo,
         }
@@ -1043,6 +1075,9 @@ pub fn run_trial_ctl(
         ctrl,
         shards: run.shards,
         shard_events: run.shard_events,
+        shard_epoch: run.shard_epoch,
+        shard_windows: run.shard_windows,
+        shard_syncs: run.shard_syncs,
         shard_fallback,
         snapshots,
         memo_hits: memo_counters.hits,

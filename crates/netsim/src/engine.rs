@@ -234,6 +234,11 @@ pub trait Scheduler {
     /// sequence number, and therefore every equal-timestamp ordering
     /// decision, is identical to the per-packet-event engine.
     fn reserve_seq(&mut self) -> u64;
+    /// Reserve `n` consecutive sequence numbers, returning the first.
+    /// Equivalent to `n` calls of [`Scheduler::reserve_seq`] — the batched
+    /// ingress splice uses it to number a whole remote batch with one
+    /// counter bump while keeping every per-packet sequence identical.
+    fn reserve_seq_range(&mut self, n: u64) -> u64;
     /// Pop the earliest event.
     fn pop(&mut self) -> Option<(SimTime, EventKind)>;
     /// Pop the earliest event if it is due at or before `horizon`.
@@ -322,6 +327,15 @@ impl EventHeap {
     pub fn reserve_seq(&mut self) -> u64 {
         let seq = self.seq;
         self.seq += 1;
+        seq
+    }
+
+    /// Reserve `n` consecutive sequence numbers, returning the first (see
+    /// [`Scheduler::reserve_seq_range`]).
+    #[inline]
+    pub fn reserve_seq_range(&mut self, n: u64) -> u64 {
+        let seq = self.seq;
+        self.seq += n;
         seq
     }
 
@@ -438,6 +452,9 @@ impl Scheduler for EventHeap {
     fn reserve_seq(&mut self) -> u64 {
         EventHeap::reserve_seq(self)
     }
+    fn reserve_seq_range(&mut self, n: u64) -> u64 {
+        EventHeap::reserve_seq_range(self, n)
+    }
     fn pop(&mut self) -> Option<(SimTime, EventKind)> {
         EventHeap::pop(self)
     }
@@ -535,6 +552,10 @@ impl Scheduler for EventQueue {
     #[inline]
     fn reserve_seq(&mut self) -> u64 {
         dispatch!(self, q => q.reserve_seq())
+    }
+    #[inline]
+    fn reserve_seq_range(&mut self, n: u64) -> u64 {
+        dispatch!(self, q => q.reserve_seq_range(n))
     }
     #[inline]
     fn pop(&mut self) -> Option<(SimTime, EventKind)> {

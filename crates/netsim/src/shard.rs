@@ -34,6 +34,22 @@ pub fn shards_from_env() -> u32 {
         .unwrap_or(1)
 }
 
+/// Upper bound on windows per epoch: keeps the per-epoch batch volume (and
+/// the batch-ring slot count sized for it) bounded.
+pub const MAX_EPOCH_WINDOWS: u32 = 64;
+
+/// Epoch cap requested via `FP_SHARD_EPOCH`: how many conservative windows
+/// a sharded run may advance per coordinator synchronization (default 32;
+/// `1` forces the legacy per-window protocol).
+pub fn epoch_from_env() -> u32 {
+    std::env::var("FP_SHARD_EPOCH")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(32)
+        .min(MAX_EPOCH_WINDOWS)
+}
+
 /// A static partition of one topology into shards, plus the conservative
 /// lookahead window derived from cross-shard link latencies.
 #[derive(Clone, Debug)]
@@ -58,6 +74,24 @@ impl ShardPlan {
     /// are distributed round-robin). Host↔leaf links are therefore never
     /// cross-shard, so the lookahead is the fabric-tier latency.
     pub fn new(topo: &Topology, shards: u32) -> ShardPlan {
+        Self::build(topo, shards, None)
+    }
+
+    /// Partition `topo` into (up to) `shards` shards, balancing the given
+    /// per-unit event loads (one weight per leaf, or per pod on a 3-level
+    /// Clos) across shards instead of assigning units round-robin.
+    ///
+    /// Assignment is longest-processing-time greedy: units in descending
+    /// weight order (ties keep unit order) each go to the least-loaded
+    /// shard (ties to the lowest shard id). Uniform weights therefore
+    /// reproduce the round-robin `unit % k` partition exactly — symmetric
+    /// collectives keep the committed partitions and the documented §9 tie
+    /// residuals bit-for-bit.
+    pub fn with_loads(topo: &Topology, shards: u32, unit_loads: &[u64]) -> ShardPlan {
+        Self::build(topo, shards, Some(unit_loads))
+    }
+
+    fn build(topo: &Topology, shards: u32, loads: Option<&[u64]>) -> ShardPlan {
         let three = topo.is_three_level();
         let units = if three {
             topo.pods
@@ -65,11 +99,15 @@ impl ShardPlan {
             topo.n_leaves() as u32
         };
         let k = shards.clamp(1, units.max(1));
+        let unit_shard: Vec<u32> = match loads {
+            None => (0..units).map(|u| u % k).collect(),
+            Some(w) => lpt_assign(units, k, w),
+        };
         let leaf_owner = |leaf: u32| -> u32 {
             if three {
-                topo.pod_of_leaf(leaf) % k
+                unit_shard[topo.pod_of_leaf(leaf) as usize]
             } else {
-                leaf % k
+                unit_shard[leaf as usize]
             }
         };
         let switch_owner: Vec<u32> = topo
@@ -80,7 +118,7 @@ impl ShardPlan {
                 SwitchKind::Spine(s) => {
                     if three {
                         // Aggs are pod-local: follow the pod.
-                        s / topo.spec.spines % k
+                        unit_shard[(s / topo.spec.spines) as usize]
                     } else {
                         s % k
                     }
@@ -139,6 +177,26 @@ impl ShardPlan {
     pub fn link_dst_owner(&self, topo: &Topology, link: LinkId) -> u32 {
         self.owner(topo.links[link.idx()].dst)
     }
+}
+
+/// Longest-processing-time greedy assignment of `units` weighted units to
+/// `k` shards. Zero weights count as 1 so idle units still spread
+/// round-robin (every shard keeps at least one unit when `units >= k`).
+fn lpt_assign(units: u32, k: u32, weights: &[u64]) -> Vec<u32> {
+    debug_assert_eq!(weights.len(), units as usize);
+    let mut order: Vec<u32> = (0..units).collect();
+    // Stable sort: equal weights keep ascending unit order, which is what
+    // makes the uniform case degenerate to `unit % k`.
+    order.sort_by_key(|&u| std::cmp::Reverse(weights[u as usize]));
+    let mut load = vec![0u64; k as usize];
+    let mut owner = vec![0u32; units as usize];
+    for &u in &order {
+        // `min_by_key` returns the first minimum: lowest shard id on ties.
+        let s = (0..k as usize).min_by_key(|&s| load[s]).unwrap_or(0);
+        owner[u as usize] = s as u32;
+        load[s] += weights[u as usize].max(1);
+    }
+    owner
 }
 
 // ---------------------------------------------------------------------
@@ -363,6 +421,124 @@ impl<T> Drop for SpscReceiver<T> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Batched SPSC mailbox (epoch protocol)
+// ---------------------------------------------------------------------
+
+/// Pad an atomic out to its own cache line: the producer-side `tail` and
+/// consumer-side `head` of a [`BatchRing`] must not false-share, or every
+/// publish invalidates the consumer's line (and vice versa). The element
+/// SPSC [`Ring`] above keeps them adjacent — fine for its command channel
+/// role, measurably hostile at per-window flush rates.
+#[repr(align(64))]
+struct PaddedAtomic(AtomicUsize);
+
+/// SPSC ring of *batches*: each slot holds one boxed slice published with
+/// a single release store of `tail`. The producer accumulates records in
+/// an ordinary `Vec` (no atomics while staging) and [`publish`]es the
+/// whole window's worth at once; the consumer takes whole batches with
+/// plain acquire loads and no waiter handshake at all — epoch barriers
+/// already order the two sides, so unlike [`Ring`] there is no mutex, no
+/// park, and no per-record atomic traffic.
+///
+/// [`publish`]: BatchSender::publish
+/// One [`BatchRingInner`] slot: a batch written by the producer before
+/// the tail store and read by the consumer after the head load.
+type BatchSlot<T> = UnsafeCell<MaybeUninit<Box<[T]>>>;
+
+struct BatchRingInner<T> {
+    slots: Box<[BatchSlot<T>]>,
+    mask: usize,
+    head: PaddedAtomic,
+    tail: PaddedAtomic,
+}
+
+unsafe impl<T: Send> Sync for BatchRingInner<T> {}
+unsafe impl<T: Send> Send for BatchRingInner<T> {}
+
+impl<T> Drop for BatchRingInner<T> {
+    fn drop(&mut self) {
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        for i in head..tail {
+            unsafe {
+                (*self.slots[i & self.mask].get()).assume_init_drop();
+            }
+        }
+    }
+}
+
+/// Producer half of a batched SPSC mailbox.
+pub struct BatchSender<T> {
+    ring: Arc<BatchRingInner<T>>,
+}
+
+/// Consumer half of a batched SPSC mailbox.
+pub struct BatchReceiver<T> {
+    ring: Arc<BatchRingInner<T>>,
+}
+
+/// Build a batched mailbox holding up to `capacity` in-flight batches
+/// (rounded up to a power of two).
+pub fn batch_ring<T: Send>(capacity: usize) -> (BatchSender<T>, BatchReceiver<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let ring = Arc::new(BatchRingInner {
+        slots,
+        mask: cap - 1,
+        head: PaddedAtomic(AtomicUsize::new(0)),
+        tail: PaddedAtomic(AtomicUsize::new(0)),
+    });
+    (BatchSender { ring: ring.clone() }, BatchReceiver { ring })
+}
+
+impl<T: Send> BatchSender<T> {
+    /// Publish the staged batch: drains `staging` into one boxed slice and
+    /// makes it visible with a single release store. Returns `false`
+    /// (leaving `staging` untouched) if all slots are in flight — under
+    /// the epoch protocol at most one batch per ring is ever outstanding,
+    /// so the coordinator treats a full ring as a protocol violation.
+    #[must_use]
+    pub fn publish(&self, staging: &mut Vec<T>) -> bool {
+        let r = &*self.ring;
+        let tail = r.tail.0.load(Ordering::Relaxed);
+        let head = r.head.0.load(Ordering::Acquire);
+        if tail - head == r.slots.len() {
+            return false;
+        }
+        let batch: Box<[T]> = std::mem::take(staging).into_boxed_slice();
+        unsafe {
+            (*r.slots[tail & r.mask].get()).write(batch);
+        }
+        r.tail.0.store(tail + 1, Ordering::Release);
+        true
+    }
+}
+
+impl<T: Send> BatchReceiver<T> {
+    /// Take the next batch if one is published.
+    pub fn try_pop(&self) -> Option<Box<[T]>> {
+        let r = &*self.ring;
+        let head = r.head.0.load(Ordering::Relaxed);
+        if head == r.tail.0.load(Ordering::Acquire) {
+            return None;
+        }
+        let batch = unsafe { (*r.slots[head & r.mask].get()).assume_init_read() };
+        r.head.0.store(head + 1, Ordering::Release);
+        Some(batch)
+    }
+
+    /// Append every published batch, in publish order, to `out`.
+    pub fn drain_into(&self, out: &mut Vec<T>) {
+        while let Some(batch) = self.try_pop() {
+            out.extend(batch.into_vec());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -459,6 +635,105 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(rx.recv(), None, "hung-up ring reports end of stream");
+    }
+
+    #[test]
+    fn uniform_loads_degenerate_to_round_robin() {
+        let topo = fabric(8, 4);
+        for shards in [2, 3, 4, 8] {
+            let rr = ShardPlan::new(&topo, shards);
+            for w in [0u64, 1, 7] {
+                let plan = ShardPlan::with_loads(&topo, shards, &[w; 8]);
+                assert_eq!(plan.host_owner, rr.host_owner, "w={w} k={shards}");
+                assert_eq!(plan.switch_owner, rr.switch_owner, "w={w} k={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_loads_balance_across_shards() {
+        let topo = fabric(8, 4);
+        // One hot leaf: LPT must not stack another loaded leaf on top of it.
+        let loads = [100u64, 10, 10, 10, 10, 10, 10, 10];
+        let plan = ShardPlan::with_loads(&topo, 2, &loads);
+        let shard_load = |s: u32| -> u64 {
+            (0..8)
+                .filter(|&l| plan.switch_owner[l as usize] == s)
+                .map(|l| loads[l as usize])
+                .sum()
+        };
+        // Optimal split is 100 vs 70; round-robin would give 130 vs 40.
+        assert_eq!(shard_load(0).max(shard_load(1)), 100);
+        // Hosts still follow their leaf.
+        for h in 0..topo.n_hosts() {
+            let leaf = topo.host_leaf[h];
+            assert_eq!(plan.host_owner[h], plan.switch_owner[leaf as usize]);
+        }
+    }
+
+    #[test]
+    fn epoch_env_parse_is_clamped() {
+        // Process-global env: only check the invariant range.
+        let e = epoch_from_env();
+        assert!((1..=MAX_EPOCH_WINDOWS).contains(&e));
+    }
+
+    #[test]
+    fn batch_ring_roundtrip_in_publish_order() {
+        let (tx, rx) = batch_ring::<u64>(4);
+        let mut staging = vec![1, 2, 3];
+        assert!(tx.publish(&mut staging));
+        assert!(staging.is_empty(), "publish drains the staging vec");
+        staging.extend([4, 5]);
+        assert!(tx.publish(&mut staging));
+        let mut out = Vec::new();
+        rx.drain_into(&mut out);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert!(rx.try_pop().is_none());
+    }
+
+    #[test]
+    fn batch_ring_reports_full() {
+        let (tx, rx) = batch_ring::<u64>(2);
+        let mut staging = vec![0];
+        assert!(tx.publish(&mut staging));
+        staging.push(1);
+        assert!(tx.publish(&mut staging));
+        staging.push(2);
+        assert!(!tx.publish(&mut staging), "full ring refuses the batch");
+        assert_eq!(staging, vec![2], "refused batch stays staged");
+        assert_eq!(rx.try_pop().unwrap().as_ref(), &[0]);
+        assert!(tx.publish(&mut staging), "freed slot accepts again");
+    }
+
+    #[test]
+    fn batch_ring_drops_unconsumed_batches() {
+        let (tx, rx) = batch_ring::<String>(4);
+        let mut staging = vec!["a".to_string(), "b".to_string()];
+        assert!(tx.publish(&mut staging));
+        drop(rx);
+        drop(tx);
+    }
+
+    #[test]
+    fn batch_ring_across_threads() {
+        let (tx, rx) = batch_ring::<u64>(64);
+        let producer = std::thread::spawn(move || {
+            let mut staging = Vec::new();
+            for batch in 0..100u64 {
+                staging.extend((0..32).map(|i| batch * 32 + i));
+                while !tx.publish(&mut staging) {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut out = Vec::new();
+        while out.len() < 3200 {
+            rx.drain_into(&mut out);
+            std::hint::spin_loop();
+        }
+        producer.join().unwrap();
+        assert_eq!(out, (0..3200u64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -906,6 +906,54 @@ impl Simulator {
         self.in_flight_pkts += 1;
     }
 
+    /// Batched ingress splice: inject a whole pre-sorted remote batch in
+    /// one pass. The batch's sequence numbers come from a single counter
+    /// bump ([`Scheduler::reserve_seq_range`]) with `seq0 + i` for packet
+    /// `i` — exactly the numbers `n` separate [`Self::shard_inject_pkt`]
+    /// calls would have drawn — and each pipe that went empty→nonempty is
+    /// armed once at the end. No event dispatches mid-splice, so the
+    /// deferred arms leave the identical end state without per-packet
+    /// front-heap probes.
+    pub fn shard_inject_pkts(&mut self, batch: &[RemotePkt]) {
+        if batch.is_empty() {
+            return;
+        }
+        let base = self
+            .shard
+            .as_ref()
+            .expect("shard_inject_pkts on unsharded sim")
+            .remote_pipe_base;
+        let seq0 = self.heap.reserve_seq_range(batch.len() as u64);
+        let mut to_arm: Vec<PipeFront> = Vec::with_capacity(4);
+        for (i, r) in batch.iter().enumerate() {
+            let seq = seq0 + i as u64;
+            let class = base + self.link_pipe[r.link.idx()];
+            let pipe = &mut self.pipes[class as usize];
+            debug_assert!(
+                pipe.back().is_none_or(|b| (b.at, b.seq) < (r.at, seq)),
+                "remote pipe arrivals must be FIFO"
+            );
+            if pipe.is_empty() {
+                to_arm.push(PipeFront {
+                    at: r.at,
+                    seq,
+                    pipe: class,
+                });
+            }
+            pipe.push_back(InFlight {
+                at: r.at,
+                seq,
+                link: r.link,
+                pkt: r.pkt,
+            });
+            self.links[r.link.idx()].inflight += 1;
+            self.in_flight_pkts += 1;
+        }
+        for f in to_arm {
+            self.front.arm(f);
+        }
+    }
+
     /// Inject a PFC frame that crossed the shard boundary (the paused
     /// transmitter lives here, the switch that sent the frame does not).
     pub fn shard_inject_pfc(&mut self, at: SimTime, link: LinkId, prio: u8, pause: bool) {

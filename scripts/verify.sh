@@ -64,9 +64,10 @@ echo "==> bench json schema: BENCH_netsim.json parses with required keys"
 python3 - <<'EOF'
 import json, sys
 d = json.load(open("BENCH_netsim.json"))
-required = ["name", "git", "scheduler", "threads", "shards", "shard_events",
-            "quick", "trials", "wall_us", "events", "events_per_sec",
-            "sched_pushes", "memo_hits", "memo_replayed_events"]
+required = ["name", "git", "scheduler", "threads", "host_parallelism",
+            "shards", "quick", "trials", "wall_us", "events",
+            "events_per_sec", "sched_pushes", "memo_hits",
+            "memo_replayed_events"]
 for name in ("headline", "baseline", "telemetry_overhead", "mitigation",
              "memo_headline", "memo_mitigation",
              "shards1", "shards2", "shards4", "shards8",
@@ -79,6 +80,19 @@ for name in ("headline", "baseline", "telemetry_overhead", "mitigation",
     missing = [k for k in required if k not in e]
     if missing:
         sys.exit(f"BENCH_netsim.json[{name}]: missing keys {missing}")
+# Shard-only keys appear exactly on sharded rows: an unsharded row carrying
+# `"shard_events": []` (the pre-epoch serializer's artifact) is a schema
+# violation, as is a sharded row missing its sync accounting.
+shard_keys = ["shard_epoch", "shard_windows", "shard_syncs", "shard_events"]
+for name, e in d.items():
+    if e["shards"] == 1:
+        present = [k for k in shard_keys if k in e]
+        if present:
+            sys.exit(f"BENCH_netsim.json[{name}]: unsharded row carries {present}")
+    else:
+        missing = [k for k in shard_keys if k not in e]
+        if missing:
+            sys.exit(f"BENCH_netsim.json[{name}]: sharded row missing {missing}")
 for n in (1, 2, 4, 8):
     for suffix in ("", "_inline"):
         if n == 1 and suffix:
@@ -87,9 +101,15 @@ for n in (1, 2, 4, 8):
         if e["shards"] != n:
             sys.exit(f"BENCH_netsim.json[shards{n}{suffix}]: "
                      f"shards field is {e['shards']}")
-        if n > 1 and len(e["shard_events"]) != n:
-            sys.exit(f"BENCH_netsim.json[shards{n}{suffix}]: "
-                     f"{len(e['shard_events'])} per-shard event counts")
+        if n > 1:
+            if len(e["shard_events"]) != n:
+                sys.exit(f"BENCH_netsim.json[shards{n}{suffix}]: "
+                         f"{len(e['shard_events'])} per-shard event counts")
+            amort = e["shard_windows"] / max(e["shard_syncs"], 1)
+            if e["shard_epoch"] >= 16 and amort < 4.0:
+                sys.exit(f"BENCH_netsim.json[shards{n}{suffix}]: epoch "
+                         f"batching amortized only {amort:.1f} windows/sync "
+                         f"at epoch cap {e['shard_epoch']}")
 for name in ("memo_headline", "memo_mitigation"):
     if d[name]["memo_hits"] == 0:
         sys.exit(f"BENCH_netsim.json[{name}]: memoized campaign recorded 0 hits")
@@ -196,6 +216,30 @@ print(f"    perf canary (warn-only): FP_SHARDS=2 {sh['events_per_sec']/1e6:.2f} 
       "< 1x expected on hosts without spare cores)")
 EOF
 echo "    headline: FP_SHARDS=4 verdicts identical (deviation fields warn-only)"
+
+echo "==> FP_SHARD_EPOCH smoke: epoch batching must not change output bytes"
+FP_QUICK=1 FP_SHARDS=2 FP_SHARD_EPOCH=1 FP_BENCH_JSON="$ts/e1.json" FP_RESULTS="$ts/e1" \
+    cargo run --release -q -p fp-bench --bin headline >/dev/null
+FP_QUICK=1 FP_SHARDS=2 FP_SHARD_EPOCH=4 FP_BENCH_JSON="$ts/e4.json" FP_RESULTS="$ts/e4" \
+    cargo run --release -q -p fp-bench --bin headline >/dev/null
+cmp "$ts/e1/headline.json" "$ts/e4/headline.json"
+# The earlier FP_SHARDS=2 run used the default epoch cap (32).
+cmp "$ts/headline.json" "$ts/e4/headline.json"
+echo "    headline: JSON byte-identical at FP_SHARD_EPOCH=1 vs 4 vs default (FP_SHARDS=2)"
+python3 - "$ts/e1.json" "$ts/e4.json" <<'EOF'
+import json, sys
+e1 = json.load(open(sys.argv[1]))["headline"]
+e4 = json.load(open(sys.argv[2]))["headline"]
+ratio = e4["events_per_sec"] / e1["events_per_sec"]
+amort = e4["shard_windows"] / max(e4["shard_syncs"], 1)
+print(f"    threaded perf canary (warn-only): epoch=4 "
+      f"{e4['events_per_sec']/1e6:.2f} Mev/s vs per-window epoch=1 "
+      f"{e1['events_per_sec']/1e6:.2f} Mev/s ({ratio:.2f}x speedup; "
+      f"{amort:.1f} windows/sync; host_parallelism={e4['host_parallelism']})")
+if ratio < 1.0 and e4["host_parallelism"] >= 4:
+    print("    WARNING: epoch batching slower than the per-window handshake "
+          "on a multi-core host — the sync amortization regressed")
+EOF
 
 echo "==> FP_MEMO smoke: memoized runs byte-identical to live (wheel + heap)"
 tmo="$(mktemp -d)"
