@@ -42,6 +42,7 @@ fn remote_pkt(i: u64) -> RemotePkt {
             tag: None,
             src_leaf: 0,
             ingress: None,
+            ce: false,
         },
     }
 }

@@ -1,0 +1,438 @@
+//! E11 — spray backend × mitigation zoo: how does the closed loop behave
+//! when the fabric under it sprays differently?
+//!
+//! Crosses the spray backends (adaptive / ECMP / PRIME / REPS / REPS
+//! failover) against the remediation verbs (`admin_down`, the soft
+//! `recycle_entropy` quarantine, and a detect-only `none` ablation) on a
+//! blackholed cable the ECMP traffic actually crosses, plus a fault-free
+//! column per backend. The rows measure detection quality per backend
+//! (the learned baseline must stay quiet on a healthy fabric whatever
+//! the spray), goodput recovery per remediation verb, and the headline
+//! claim: under REPS the fabric recovers through entropy recycling alone
+//! — cable left up, zero `admin_down` verbs, zero false mitigations.
+//!
+//! The seed is pinned so the blackholed uplink carries the ECMP-hashed
+//! ring traffic of its leaf (a random cable usually misses a pinned
+//! pair, which would make the ECMP column vacuous).
+
+use flowpulse::prelude::*;
+use fp_bench::{header, pick, save_json, Campaign, TrialTiming};
+use fp_ctrl::{run_ctrl_trial, CtrlConfig, Mitigation};
+use fp_netsim::spray::SprayPolicy;
+use serde::Serialize;
+
+/// Pinned so the blackholed cable sits on the ECMP path (see module docs).
+const SEED: u64 = 44;
+const ONSET: u32 = 2;
+
+#[derive(Clone)]
+struct Case {
+    backend: &'static str,
+    mitigation: &'static str,
+    scenario: &'static str,
+    spec: TrialSpec,
+    ctrl: CtrlConfig,
+    /// Fault onset iteration (0 = fault-free run).
+    onset: u32,
+}
+
+#[derive(Serialize)]
+struct Row {
+    backend: String,
+    mitigation: String,
+    scenario: String,
+    detected: bool,
+    tt_detect_ns: Option<u64>,
+    tt_mitigate_ns: Option<u64>,
+    mitigate_iter: Option<u32>,
+    false_mitigations: u32,
+    /// `admin_down` verbs the controller actually scheduled.
+    admin_downs: u32,
+    /// `recycle_entropy` verbs the controller actually scheduled.
+    recycles: u32,
+    flows_failed: u64,
+    pre_bps: f64,
+    during_bps: f64,
+    post_bps: f64,
+    recovered: bool,
+}
+
+fn goodput(r: &TrialResult, iter: u32) -> f64 {
+    r.iter_goodput
+        .iter()
+        .find(|&&(i, _)| i == iter)
+        .map(|&(_, g)| g)
+        .unwrap_or(0.0)
+}
+
+fn row_of(case: &Case, r: &TrialResult) -> Row {
+    let iters = r.iter_goodput.len() as u32;
+    let onset = case.onset;
+    let pre_to = if onset == 0 { iters } else { onset };
+    let pre: Vec<f64> = (0..pre_to).map(|i| goodput(r, i)).collect();
+    let pre_bps = pre.iter().sum::<f64>() / pre.len().max(1) as f64;
+    let during_to = r
+        .ctrl
+        .as_ref()
+        .and_then(|c| c.mitigate_iter)
+        .unwrap_or(iters)
+        .min(iters);
+    let during_bps = (onset..during_to.max(onset + 1).min(iters))
+        .map(|i| goodput(r, i))
+        .fold(f64::INFINITY, f64::min);
+    let during_bps = if during_bps.is_finite() {
+        during_bps
+    } else {
+        pre_bps
+    };
+    let post_bps = goodput(r, iters - 1);
+    let c = r.ctrl.as_ref();
+    let verb_count = |verb: &str| {
+        c.map(|c| c.actions.iter().filter(|a| a.detail.contains(verb)).count() as u32)
+            .unwrap_or(0)
+    };
+    Row {
+        backend: case.backend.into(),
+        mitigation: case.mitigation.into(),
+        scenario: case.scenario.into(),
+        detected: c.map(|c| c.time_to_detect_ns.is_some()).unwrap_or(false),
+        tt_detect_ns: c.and_then(|c| c.time_to_detect_ns),
+        tt_mitigate_ns: c.and_then(|c| c.time_to_mitigate_ns),
+        mitigate_iter: c.and_then(|c| c.mitigate_iter),
+        false_mitigations: c.map(|c| c.false_mitigations).unwrap_or(0),
+        admin_downs: verb_count("admin_down"),
+        recycles: verb_count("recycle_entropy"),
+        flows_failed: r.stats.flows_failed,
+        pre_bps,
+        during_bps,
+        post_bps,
+        recovered: onset > 0 && post_bps >= 0.95 * pre_bps,
+    }
+}
+
+fn main() {
+    header("E11 — spray backend × mitigation zoo on a blackholed cable");
+    let backends: &[(&str, SprayPolicy)] = &[
+        ("adaptive", SprayPolicy::Adaptive),
+        ("prime", SprayPolicy::Prime),
+        ("ecmp", SprayPolicy::Ecmp),
+        ("reps", SprayPolicy::Reps),
+        ("reps_failover", SprayPolicy::RepsFailover),
+    ];
+    // Quick mode still witnesses the headline row (reps + recycle on the
+    // blackhole) plus the pinned-vs-recycled contrast and a clean row per
+    // swept backend; full mode sweeps the whole cross.
+    let backends = pick(backends, &backends[2..4]);
+    let mitigations: &[(&str, Mitigation)] = pick(
+        &[
+            ("admin_down", Mitigation::AdminDown),
+            ("recycle_entropy", Mitigation::RecycleEntropy),
+            ("none", Mitigation::None),
+        ][..],
+        &[("recycle_entropy", Mitigation::RecycleEntropy)][..],
+    );
+
+    let base = TrialSpec {
+        leaves: 8,
+        spines: 4,
+        bytes_per_node: 8 * 1024 * 1024,
+        iterations: 8,
+        seed: SEED,
+        ..Default::default()
+    };
+
+    let mut cases = Vec::new();
+    for &(bname, policy) in backends {
+        let mut faulty = TrialSpec {
+            fault: Some(FaultSpec {
+                kind: InjectedFault::Blackhole,
+                at_iter: ONSET,
+                heal_at_iter: None,
+                bidirectional: false,
+            }),
+            ..base.clone()
+        };
+        faulty.sim.spray = policy;
+        for &(mname, mit) in mitigations {
+            cases.push(Case {
+                backend: bname,
+                mitigation: mname,
+                scenario: "blackhole",
+                spec: faulty.clone(),
+                ctrl: CtrlConfig {
+                    mitigation: mit,
+                    ..CtrlConfig::default()
+                },
+                onset: ONSET,
+            });
+        }
+        // Fault-free column: detection quality on a healthy fabric — the
+        // learned baseline must stay quiet whatever the spray backend.
+        let mut clean = base.clone();
+        clean.sim.spray = policy;
+        cases.push(Case {
+            backend: bname,
+            mitigation: "admin_down",
+            scenario: "clean",
+            spec: clean,
+            ctrl: CtrlConfig::default(),
+            onset: 0,
+        });
+    }
+
+    // Controllers are !Send, so each worker builds its trial's controller
+    // inside the closure; determinism is per-spec, not per-thread.
+    let campaign = Campaign::from_env();
+    let t0 = std::time::Instant::now();
+    let timed: Vec<(TrialResult, u64)> = campaign.map(&cases, |case| {
+        let t = std::time::Instant::now();
+        let r = run_ctrl_trial(&case.spec, case.ctrl);
+        (r, t.elapsed().as_micros() as u64)
+    });
+    let wall_us_total = (t0.elapsed().as_micros() as u64).max(1);
+
+    let mut timings = Vec::new();
+    let mut rows = Vec::new();
+    for (idx, (case, (r, wall_us))) in cases.iter().zip(&timed).enumerate() {
+        timings.push(TrialTiming {
+            idx,
+            seed: case.spec.seed,
+            wall_us: *wall_us,
+            events: r.stats.events,
+        });
+        rows.push(row_of(case, r));
+    }
+
+    println!(
+        "{:<14} {:<16} {:<10} {:>9} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9}  recovered",
+        "backend",
+        "mitigation",
+        "scenario",
+        "tt_det_us",
+        "adown",
+        "recyc",
+        "fails",
+        "pre",
+        "during",
+        "post"
+    );
+    for row in &rows {
+        println!(
+            "{:<14} {:<16} {:<10} {:>9} {:>6} {:>6} {:>6} {:>9.2e} {:>9.2e} {:>9.2e}  {}",
+            row.backend,
+            row.mitigation,
+            row.scenario,
+            row.tt_detect_ns
+                .map(|n| (n / 1_000).to_string())
+                .unwrap_or_else(|| "-".into()),
+            row.admin_downs,
+            row.recycles,
+            row.flows_failed,
+            row.pre_bps,
+            row.during_bps,
+            row.post_bps,
+            if row.scenario == "clean" {
+                "n/a"
+            } else if row.recovered {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+    }
+
+    let log_path = fp_bench::out_dir().join("campaign_log.txt");
+    if let Err(e) = fp_bench::log_trials_to(
+        &log_path,
+        "e11_spray",
+        campaign.threads(),
+        &timings,
+        wall_us_total,
+    ) {
+        eprintln!("warning: cannot append campaign log: {e}");
+    }
+    let mean = |xs: Vec<u64>| {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(xs.iter().sum::<u64>() / xs.len() as u64)
+        }
+    };
+    let tt_detect_ns = mean(rows.iter().filter_map(|r| r.tt_detect_ns).collect());
+    let tt_mitigate_ns = mean(rows.iter().filter_map(|r| r.tt_mitigate_ns).collect());
+    let false_mitigations: u64 = rows.iter().map(|r| r.false_mitigations as u64).sum();
+    let events_total: u64 = timings.iter().map(|t| t.events).sum();
+    let results: Vec<TrialResult> = timed.into_iter().map(|(r, _)| r).collect();
+    let (sched_kind, sched) = fp_bench::campaign::aggregate_sched(&results);
+    let shard_agg = fp_bench::campaign::aggregate_shards(&results);
+    let (memo_hits, memo_replayed_events) = fp_bench::campaign::aggregate_memo(&results);
+    match fp_bench::record_bench(&fp_bench::BenchEntry {
+        name: "e11_spray".into(),
+        git: fp_telemetry::git_describe(),
+        scheduler: sched_kind.name().into(),
+        threads: campaign.threads() as u64,
+        host_parallelism: fp_bench::host_parallelism(),
+        shards: shard_agg.shards,
+        shard_epoch: shard_agg.epoch,
+        shard_windows: shard_agg.windows,
+        shard_syncs: shard_agg.syncs,
+        shard_events: shard_agg.events.clone(),
+        quick: fp_bench::quick(),
+        trials: cases.len() as u64,
+        wall_us: wall_us_total,
+        events: events_total,
+        events_per_sec: events_total as f64 * 1e6 / wall_us_total as f64,
+        sched_pushes: sched.pushes,
+        memo_hits,
+        memo_replayed_events,
+        tt_detect_ns,
+        tt_mitigate_ns,
+        false_mitigations: Some(false_mitigations),
+    }) {
+        Ok(Some(p)) => println!("[bench {}]", p.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: cannot update bench json: {e}"),
+    }
+    if let Some(dir) = fp_telemetry::dir_from_env() {
+        let specs: Vec<TrialSpec> = cases.iter().map(|c| c.spec.clone()).collect();
+        let mut m = fp_bench::campaign_manifest(
+            "e11_spray",
+            campaign.threads(),
+            &specs,
+            &timings,
+            wall_us_total,
+            sched_kind,
+            &sched,
+            &shard_agg,
+            (memo_hits, memo_replayed_events),
+        );
+        m.ctrl = serde::Value::Map(
+            cases
+                .iter()
+                .map(|c| {
+                    (
+                        format!("{}/{}/{}", c.backend, c.mitigation, c.scenario),
+                        c.ctrl.to_value(),
+                    )
+                })
+                .collect(),
+        );
+        let mdir = dir.join("e11_spray");
+        match m.write(&mdir) {
+            Ok(()) => println!("[manifest {}]", mdir.join("manifest.json").display()),
+            Err(e) => eprintln!("warning: cannot write manifest in {}: {e}", mdir.display()),
+        }
+    }
+    save_json("e11_spray", &rows);
+
+    // The acceptance bar stays up in quick mode: the headline rows are in
+    // every subset. Entropy recycling alone must carry a REPS fabric
+    // through a blackhole — no admin_down verbs, nothing falsely pulled —
+    // and a healthy fabric must never be mitigated whatever the backend.
+    for row in &rows {
+        if row.scenario == "clean" {
+            assert_eq!(
+                row.false_mitigations, 0,
+                "{}/clean: mitigated a healthy fabric",
+                row.backend
+            );
+            assert_eq!(
+                row.admin_downs + row.recycles,
+                0,
+                "{}/clean: scheduled a verb on a healthy fabric",
+                row.backend
+            );
+        }
+        if row.scenario == "blackhole" && row.mitigation == "recycle_entropy" {
+            assert!(row.detected, "{}/recycle: missed the fault", row.backend);
+            assert_eq!(
+                row.admin_downs, 0,
+                "{}/recycle: cable was admin-downed despite RecycleEntropy",
+                row.backend
+            );
+            assert_eq!(row.false_mitigations, 0, "{}/recycle", row.backend);
+            if row.backend.starts_with("reps") || row.backend == "adaptive" {
+                assert!(
+                    row.recovered,
+                    "{}/recycle: post {:.3e} < 95% of pre {:.3e} — entropy \
+                     recycling alone should have recovered this backend",
+                    row.backend, row.post_bps, row.pre_bps
+                );
+                assert_eq!(
+                    row.flows_failed, 0,
+                    "{}/recycle: flows failed under the soft quarantine",
+                    row.backend
+                );
+            }
+        }
+    }
+    if fp_bench::quick() {
+        println!("\nE11 (quick mode): reduced sweep; headline asserts held.");
+        return;
+    }
+    for row in &rows {
+        if row.scenario != "blackhole" {
+            continue;
+        }
+        // Admin-down remediation recovers every *spraying* backend:
+        // candidate removal remaps the survivors off the dead cable. ECMP
+        // is the documented exception — the pinned pair's retransmit storm
+        // keeps the dead port's measured volume up, so shortfall-based
+        // ring localization never names the cable: the controller detects
+        // but cannot save a fabric that does not spray.
+        if row.mitigation == "admin_down" {
+            assert!(row.detected, "{}/admin_down: missed the fault", row.backend);
+            assert_eq!(row.false_mitigations, 0, "{}/admin_down", row.backend);
+            if row.backend == "ecmp" {
+                assert_eq!(
+                    row.admin_downs, 0,
+                    "ecmp/admin_down: localization named a cable on a pinned \
+                     fabric — the shortfall story has changed"
+                );
+                assert!(
+                    !row.recovered && row.flows_failed > 0,
+                    "ecmp/admin_down: a pinned fabric recovered — \
+                     the localization story has changed"
+                );
+            } else {
+                assert!(
+                    row.recovered,
+                    "{}/admin_down: post {:.3e} < 95% of pre {:.3e}",
+                    row.backend, row.post_bps, row.pre_bps
+                );
+            }
+        }
+        // Detect-only ablation: REPS self-heals autonomously (the pool
+        // purges the dead slot), path-pinned ECMP burns to flow failure.
+        if row.mitigation == "none" {
+            assert_eq!(row.admin_downs + row.recycles, 0, "{}/none", row.backend);
+            if row.backend.starts_with("reps") {
+                // Softer bar than the controller rows: autonomous purge
+                // converges without the rebaseline's clean cut.
+                assert!(
+                    row.post_bps >= 0.90 * row.pre_bps,
+                    "{}/none: REPS should self-heal without the controller \
+                     (post {:.3e} vs pre {:.3e})",
+                    row.backend,
+                    row.post_bps,
+                    row.pre_bps
+                );
+            }
+            if row.backend == "ecmp" {
+                assert!(
+                    row.flows_failed > 0,
+                    "ecmp/none: pinned flows should have burned to failure"
+                );
+                assert!(
+                    !row.recovered,
+                    "ecmp/none: a pinned fabric cannot recover on its own"
+                );
+            }
+        }
+    }
+    println!(
+        "\nE11 verdict: entropy recycling alone restores a REPS fabric; \
+         every spraying backend recovers under either verb; a pinned ECMP \
+         fabric is detected but unsavable; healthy fabrics stay untouched."
+    );
+}

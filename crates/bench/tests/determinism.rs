@@ -77,6 +77,40 @@ fn campaign_rows_are_byte_identical_across_thread_counts() {
     }
 }
 
+/// The worker-pool contract holds for every pluggable spray backend —
+/// including the feedback-fed ones, whose per-leaf entropy state lives
+/// entirely inside each trial's simulator.
+#[test]
+fn spray_backend_campaigns_are_byte_identical_across_thread_counts() {
+    use fp_netsim::spray::SprayPolicy;
+    for policy in [
+        SprayPolicy::Ecmp,
+        SprayPolicy::Prime,
+        SprayPolicy::Reps,
+        SprayPolicy::RepsFailover,
+    ] {
+        let specs: Vec<TrialSpec> = sweep()
+            .into_iter()
+            .map(|mut s| {
+                s.sim.spray = policy;
+                s
+            })
+            .collect();
+        let serial = Campaign::with_threads(1).run(&specs);
+        let parallel = Campaign::with_threads(4).run(&specs);
+        assert_eq!(
+            serialize_rows(&specs, &serial),
+            serialize_rows(&specs, &parallel),
+            "{policy:?}: FP_THREADS must not change output bytes"
+        );
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.iter_max_dev, b.iter_max_dev, "{policy:?}");
+            assert_eq!(a.stats.events, b.stats.events, "{policy:?}");
+            assert_eq!(a.stats.retransmits, b.stats.retransmits, "{policy:?}");
+        }
+    }
+}
+
 #[test]
 fn attached_recorder_never_changes_sweep_bytes() {
     // A recorder with the periodic sampler enabled rides along on every
@@ -155,6 +189,52 @@ fn heap_and_wheel_schedulers_are_byte_identical() {
     }
 }
 
+/// The spray-engine refactor contract: swapping the closed `SprayPolicy`
+/// dispatch for the pluggable `Sprayer` trait must not move a single
+/// byte of the default backend's output. These digests were recorded on
+/// the enum-dispatch build immediately before the trait landed; every
+/// value is pinned for both scheduler backends.
+#[test]
+fn trait_refactor_preserves_pinned_adaptive_digest() {
+    use fp_netsim::engine::SchedKind;
+    let spec_for = |kind: SchedKind| TrialSpec {
+        leaves: 8,
+        spines: 4,
+        bytes_per_node: 8 * 1024 * 1024,
+        iterations: 3,
+        fault: Some(FaultSpec {
+            kind: InjectedFault::Drop { rate: 0.015 },
+            at_iter: 1,
+            heal_at_iter: None,
+            bidirectional: false,
+        }),
+        seed: 2025,
+        sim: fp_netsim::config::SimConfig {
+            sched: Some(kind),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    for kind in [SchedKind::Heap, SchedKind::Wheel] {
+        let r = run_trial(&spec_for(kind));
+        assert_eq!(r.sched_kind, kind);
+        assert_eq!(r.stats.events, 819_681, "{kind:?}: event count moved");
+        assert_eq!(r.stats.data_pkts_sent, 86_016, "{kind:?}");
+        assert_eq!(r.stats.retransmits, 26, "{kind:?}");
+        assert_eq!(r.stats.silent_drops(), 31, "{kind:?}");
+        assert!(r.detected, "{kind:?}: pinned run no longer detects");
+        assert_eq!(
+            r.iter_max_dev,
+            vec![
+                (0, 0.002232142857142857),
+                (1, 0.012276785714285714),
+                (2, 0.010044642857142858),
+            ],
+            "{kind:?}: deviation trajectory moved"
+        );
+    }
+}
+
 #[test]
 fn shard_counts_are_byte_identical() {
     // FP_SHARDS rows: the same sweep partitioned into 1/2/4 intra-trial
@@ -217,6 +297,55 @@ fn shard_counts_are_byte_identical() {
                 }
             }
         }
+    }
+}
+
+/// The spray-engine side of the shard gate, both directions: the pure
+/// hash backends (ECMP, PRIME) partition cleanly and must take the
+/// sharded fast path byte-identically, while REPS recycles ACK-fed
+/// entropy state and must fall back to a single simulator with its
+/// explicit reason — never silently.
+#[test]
+fn spray_backends_gate_the_shard_path() {
+    use flowpulse::eval::shard_ineligibility;
+    use fp_netsim::spray::SprayPolicy;
+    let spec_with = |policy: SprayPolicy, shards: u32| -> TrialSpec {
+        let mut s = TrialSpec {
+            leaves: 4,
+            spines: 2,
+            bytes_per_node: 2 * 1024 * 1024,
+            iterations: 2,
+            seed: 9,
+            shards: Some(shards),
+            ..Default::default()
+        };
+        s.sim.spray = policy;
+        s
+    };
+    for policy in [SprayPolicy::Ecmp, SprayPolicy::Prime] {
+        assert_eq!(shard_ineligibility(&spec_with(policy, 2), false), None);
+        let base = run_trial(&spec_with(policy, 1));
+        let sharded = run_trial(&spec_with(policy, 2));
+        assert_eq!(sharded.shards, 2, "{policy:?}: sharded path not taken");
+        assert!(sharded.shard_fallback.is_none(), "{policy:?}");
+        assert_eq!(base.iter_max_dev, sharded.iter_max_dev, "{policy:?}");
+        assert_eq!(base.stats.events, sharded.stats.events, "{policy:?}");
+        assert_eq!(base.stats.pkts_txed, sharded.stats.pkts_txed, "{policy:?}");
+    }
+    for policy in [SprayPolicy::Reps, SprayPolicy::RepsFailover] {
+        let reason =
+            shard_ineligibility(&spec_with(policy, 2), false).expect("REPS must refuse shards");
+        assert!(
+            reason.contains("recycles ACK-fed entropy state"),
+            "{policy:?} reason: {reason}"
+        );
+        let r = run_trial(&spec_with(policy, 2));
+        assert_eq!(r.shards, 1, "{policy:?}: sharded an ineligible backend");
+        let fallback = r.shard_fallback.expect("fallback reason must surface");
+        assert!(
+            fallback.contains("recycles ACK-fed entropy state"),
+            "{policy:?} fallback: {fallback}"
+        );
     }
 }
 

@@ -514,16 +514,32 @@ pub fn shard_ineligibility(spec: &TrialSpec, has_controller: bool) -> Option<Str
     if has_controller {
         return Some("an online controller needs a live single simulator".into());
     }
-    if !matches!(
-        spec.sim.spray,
-        fp_netsim::spray::SprayPolicy::Adaptive
-            | fp_netsim::spray::SprayPolicy::LeastLoaded
-            | fp_netsim::spray::SprayPolicy::RoundRobin
-    ) {
-        return Some(format!(
-            "spray policy {:?} draws from the per-shard RNG",
-            spec.sim.spray
-        ));
+    use fp_netsim::spray::SprayPolicy;
+    match spec.sim.spray {
+        // Deterministic picks: classic load-based policies plus the pure
+        // hash/entropy backends (ECMP is a flow hash; PRIME is a pure
+        // function of `(flow, seq, epoch)` and its congestion epochs are
+        // bumped at the owning shard's source leaf deterministically).
+        SprayPolicy::Adaptive
+        | SprayPolicy::LeastLoaded
+        | SprayPolicy::RoundRobin
+        | SprayPolicy::Ecmp
+        | SprayPolicy::Prime => {}
+        // REPS caches entropies fed by ACK arrival order *and* draws
+        // fresh entropies from the per-shard RNG: both diverge from the
+        // single-simulator run.
+        SprayPolicy::Reps | SprayPolicy::RepsFailover => {
+            return Some(format!(
+                "spray policy {:?} recycles ACK-fed entropy state",
+                spec.sim.spray
+            ));
+        }
+        _ => {
+            return Some(format!(
+                "spray policy {:?} draws from the per-shard RNG",
+                spec.sim.spray
+            ));
+        }
     }
     if spec.fault.is_some_and(|f| f.bidirectional) {
         return Some("bidirectional fault straddles two shard owners".into());

@@ -203,6 +203,44 @@ fn transient_fault_reconverges_on_wheel() {
     assert!(on.memo_hits > 0, "fallback: {:?}", on.memo_fallback);
 }
 
+/// The hash backends of the spray engine are memo-eligible: ECMP is
+/// stateless and a clean PRIME run has no congestion epochs, so both
+/// fingerprint cleanly and the steady state fast-forwards byte-identically.
+#[test]
+fn ecmp_and_clean_prime_fast_forward_and_match() {
+    for policy in [SprayPolicy::Ecmp, SprayPolicy::Prime] {
+        let mut spec = base_spec(7, 12, false, false);
+        spec.sim.spray = policy;
+        let (off, on) = run_pair(&spec);
+        assert_lockstep(&off, &on);
+        assert!(
+            on.memo_fallback.is_none(),
+            "{policy:?} fallback: {:?}",
+            on.memo_fallback
+        );
+        assert!(on.memo_hits > 0, "{policy:?}: never fast-forwarded");
+    }
+}
+
+/// REPS carries ACK-fed entropy state the fingerprint cannot cover; the
+/// engine must refuse with its explicit residual reason — and the refused
+/// run still matches the live one byte for byte.
+#[test]
+fn reps_refuses_memo_with_residual_reason() {
+    for policy in [SprayPolicy::Reps, SprayPolicy::RepsFailover] {
+        let mut spec = base_spec(7, 12, false, false);
+        spec.sim.spray = policy;
+        let (off, on) = run_pair(&spec);
+        assert_lockstep(&off, &on);
+        assert_eq!(on.memo_hits, 0, "{policy:?}: fast-forwarded unsoundly");
+        let reason = on.memo_fallback.expect("REPS must refuse the memo");
+        assert!(
+            reason.contains("reps-entropy-cache"),
+            "{policy:?} reason: {reason}"
+        );
+    }
+}
+
 struct NoopController;
 impl TrialController for NoopController {
     fn on_iteration_end(&mut self, _sim: &mut fp_netsim::sim::Simulator, _iter: u32) {}

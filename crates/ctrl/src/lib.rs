@@ -48,6 +48,22 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+/// Which remediation verb the controller schedules on a localized cable.
+#[derive(Copy, Clone, PartialEq, Eq, Serialize, Deserialize, Debug, Default)]
+pub enum Mitigation {
+    /// Admin-down the cable (the paper's remediation): hard, drains
+    /// queues, removes capacity until an operator restores it.
+    #[default]
+    AdminDown,
+    /// Entropy-recycle quarantine
+    /// ([`fp_netsim::control::ControlVerb::RecycleEntropy`]): the cable
+    /// stays up but sprayers steer away from it — REPS-style soft
+    /// failover with no capacity cliff and no queue drain.
+    RecycleEntropy,
+    /// Detect and localize but schedule nothing (ablation baseline).
+    None,
+}
+
 /// Knobs of the closed loop.
 #[derive(Copy, Clone, PartialEq, Serialize, Deserialize, Debug)]
 pub struct CtrlConfig {
@@ -62,6 +78,11 @@ pub struct CtrlConfig {
     /// Most cables this controller will ever admin-down in one run; a wrong
     /// localization chain cannot take the fabric apart.
     pub max_mitigations: u32,
+    /// Remediation verb scheduled on localized culprits. Serde-defaulted
+    /// so specs and configs that predate the mitigation zoo keep their
+    /// admin-down behaviour.
+    #[serde(default)]
+    pub mitigation: Mitigation,
 }
 
 impl Default for CtrlConfig {
@@ -71,6 +92,7 @@ impl Default for CtrlConfig {
             warmup: 1,
             reaction_latency: SimDuration::from_us(50),
             max_mitigations: 4,
+            mitigation: Mitigation::default(),
         }
     }
 }
@@ -242,15 +264,32 @@ impl TrialController for Controller {
                 );
                 continue;
             }
+            if self.cfg.mitigation == Mitigation::None {
+                self.act(
+                    now.as_ns(),
+                    CtrlPhase::Localize,
+                    format!("cable ({leaf},{v}) named, mitigation disabled"),
+                );
+                continue;
+            }
             self.mitigations += 1;
             let link = sim.topo.downlink(v, leaf);
             let at = now + self.cfg.reaction_latency;
-            let idx = sim.schedule_control(at, ControlAction::admin_down_cable(link));
+            let action = match self.cfg.mitigation {
+                Mitigation::AdminDown => ControlAction::admin_down_cable(link),
+                Mitigation::RecycleEntropy => ControlAction::recycle_entropy_cable(link),
+                Mitigation::None => unreachable!("handled above"),
+            };
+            let idx = sim.schedule_control(at, action);
             self.in_flight.insert(idx, (leaf, v));
             self.act(
                 now.as_ns(),
                 CtrlPhase::Localize,
-                format!("cable ({leaf},{v}) → admin-down at {}ns", at.as_ns()),
+                format!(
+                    "cable ({leaf},{v}) → {} at {}ns",
+                    action.verb.name(),
+                    at.as_ns()
+                ),
             );
         }
     }

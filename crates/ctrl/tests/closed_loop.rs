@@ -5,8 +5,9 @@
 //! scheduler backends.
 
 use flowpulse::prelude::*;
-use fp_ctrl::{run_ctrl_trial, CtrlConfig};
+use fp_ctrl::{run_ctrl_trial, CtrlConfig, Mitigation};
 use fp_netsim::engine::SchedKind;
+use fp_netsim::spray::SprayPolicy;
 use fp_netsim::time::SimDuration;
 
 fn spec_with(kind: InjectedFault, at_iter: u32) -> TrialSpec {
@@ -80,6 +81,82 @@ fn blackhole_goodput_recovers_under_the_controller() {
 #[test]
 fn dst_blackhole_goodput_recovers_under_the_controller() {
     assert_recovers(InjectedFault::DstBlackhole, "dst_blackhole");
+}
+
+/// Entropy-recycle remediation: instead of admin-downing the cable, the
+/// controller steers the localized leaf's sprayer away from the suspect
+/// uplink. Goodput must recover without a single admin_down verb.
+fn assert_recovers_by_recycling(spray: Option<SprayPolicy>, name: &str) {
+    let mut spec = spec_with(InjectedFault::Blackhole, 2);
+    if let Some(p) = spray {
+        spec.sim.spray = p;
+    }
+    let cfg = CtrlConfig {
+        mitigation: Mitigation::RecycleEntropy,
+        ..CtrlConfig::default()
+    };
+    let ctl = run_ctrl_trial(&spec, cfg);
+
+    let c = ctl.ctrl.as_ref().expect("controller rode the trial");
+    assert!(c.time_to_detect_ns.is_some(), "{name}: never detected");
+    assert!(c.time_to_mitigate_ns.is_some(), "{name}: never mitigated");
+    assert_eq!(
+        c.mitigated_ports,
+        vec![ctl.fault_port.unwrap()],
+        "{name}: wrong cable quarantined"
+    );
+    assert_eq!(c.false_mitigations, 0, "{name}: healthy cable quarantined");
+    assert!(
+        c.actions
+            .iter()
+            .any(|a| a.detail.contains("recycle_entropy")),
+        "{name}: no recycle_entropy action recorded: {:?}",
+        c.actions
+    );
+    assert!(
+        !c.actions.iter().any(|a| a.detail.contains("admin_down")),
+        "{name}: cable was admin-downed despite RecycleEntropy: {:?}",
+        c.actions
+    );
+
+    let pre = pre_fault_goodput(&ctl, 2);
+    let post = last_goodput(&ctl);
+    assert!(
+        post >= 0.95 * pre,
+        "{name}: goodput {post:.3e} did not recover to 5% of pre-fault \
+         {pre:.3e} via entropy recycling alone"
+    );
+}
+
+#[test]
+fn blackhole_recovers_via_entropy_recycling_default_backend() {
+    assert_recovers_by_recycling(None, "adaptive+recycle");
+}
+
+#[test]
+fn blackhole_recovers_via_entropy_recycling_reps_backend() {
+    assert_recovers_by_recycling(Some(SprayPolicy::Reps), "reps+recycle");
+}
+
+#[test]
+fn mitigation_none_names_the_cable_but_leaves_it_up() {
+    let spec = spec_with(InjectedFault::Blackhole, 2);
+    let cfg = CtrlConfig {
+        mitigation: Mitigation::None,
+        ..CtrlConfig::default()
+    };
+    let r = run_ctrl_trial(&spec, cfg);
+    let c = r.ctrl.expect("controller rode the trial");
+    assert!(c.time_to_detect_ns.is_some(), "detection still reports");
+    assert!(c.time_to_mitigate_ns.is_none(), "nothing was scheduled");
+    assert!(c.mitigated_ports.is_empty());
+    assert!(
+        c.actions
+            .iter()
+            .any(|a| a.detail.contains("mitigation disabled")),
+        "localization should still name the cable: {:?}",
+        c.actions
+    );
 }
 
 #[test]

@@ -59,12 +59,23 @@ pub struct SimConfig {
     pub ack_coalesce: u32,
     /// Flush a partially-filled ACK after this delay (must be ≪ RTO).
     pub ack_flush_delay: SimDuration,
-    /// Leaf uplink selection policy.
+    /// Leaf uplink selection policy / spray backend. `Default::default`
+    /// resolves from the `FP_SPRAY` environment variable (falling back to
+    /// [`SprayPolicy::Adaptive`]); specs that pin the field explicitly are
+    /// unaffected by the environment.
     pub spray: SprayPolicy,
     /// Half-life of the [`SprayPolicy::Adaptive`] utilization counters
     /// (lazy exponential decay). Zero disables decay (pure byte-deficit
     /// balancing).
     pub spray_tau: SimDuration,
+    /// ECN marking threshold, bytes: a data packet enqueued while the
+    /// egress queue already holds at least this many bytes is CE-marked,
+    /// and the mark is echoed in the ACK (`AckBlock::ce_mask`). Only
+    /// consulted when the spray backend asks for feedback
+    /// (`SprayPolicy::wants_feedback`); classic policies never mark, so
+    /// specs that predate the field (serde default) behave identically.
+    #[serde(default = "default_ecn_threshold")]
+    pub ecn_threshold: u64,
     /// Priority Flow Control parameters.
     pub pfc: PfcConfig,
     /// Hard safety limit on processed events (guards runaway configs).
@@ -74,6 +85,12 @@ pub struct SimConfig {
     /// environment variable at simulator construction; the choice never
     /// affects results, only speed.
     pub sched: Option<SchedKind>,
+}
+
+/// Serde default for [`SimConfig::ecn_threshold`]: 16 MTU-sized packets
+/// of standing queue (64 KiB at the default 4 KiB MTU).
+fn default_ecn_threshold() -> u64 {
+    64 * 1024
 }
 
 impl Default for SimConfig {
@@ -88,8 +105,9 @@ impl Default for SimConfig {
             rto_max_attempts: 50,
             ack_coalesce: 8,
             ack_flush_delay: SimDuration::from_ns(500),
-            spray: SprayPolicy::Adaptive,
+            spray: SprayPolicy::from_env().unwrap_or(SprayPolicy::Adaptive),
             spray_tau: SimDuration::from_us(100),
+            ecn_threshold: default_ecn_threshold(),
             pfc: PfcConfig::default(),
             max_events: u64::MAX,
             sched: None,

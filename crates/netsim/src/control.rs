@@ -27,8 +27,15 @@ pub enum ControlVerb {
     /// and healthy traffic stop using it; spray sets are recomputed).
     AdminDown,
     /// Restore the link to routing, clearing any fault state (models a
-    /// repaired cable being re-admitted).
+    /// repaired cable being re-admitted). Also lifts any entropy-recycle
+    /// quarantine ([`ControlVerb::RecycleEntropy`]) on the link.
     Restore,
+    /// Entropy-recycle remediation: keep the link admin-up but quarantine
+    /// it for spray decisions — sprayers stop recycling (or freshly
+    /// drawing) entropies that cross it whenever an alternative uplink
+    /// exists. The REPS-style soft mitigation: no drain, no capacity
+    /// cliff, reversible by [`ControlVerb::Restore`].
+    RecycleEntropy,
 }
 
 impl ControlVerb {
@@ -37,6 +44,7 @@ impl ControlVerb {
         match self {
             ControlVerb::AdminDown => "admin_down",
             ControlVerb::Restore => "restore",
+            ControlVerb::RecycleEntropy => "recycle_entropy",
         }
     }
 }
@@ -70,6 +78,16 @@ impl ControlAction {
             link,
             bidirectional: true,
             verb: ControlVerb::Restore,
+        }
+    }
+
+    /// Quarantine both directions of `link`'s physical cable for spray
+    /// decisions (entropy-recycle remediation) without taking it down.
+    pub fn recycle_entropy_cable(link: LinkId) -> Self {
+        ControlAction {
+            link,
+            bidirectional: true,
+            verb: ControlVerb::RecycleEntropy,
         }
     }
 }
@@ -106,6 +124,7 @@ mod tests {
     fn verb_names_are_stable() {
         assert_eq!(ControlVerb::AdminDown.name(), "admin_down");
         assert_eq!(ControlVerb::Restore.name(), "restore");
+        assert_eq!(ControlVerb::RecycleEntropy.name(), "recycle_entropy");
     }
 
     #[test]
@@ -116,5 +135,8 @@ mod tests {
         let r = ControlAction::restore_cable(LinkId(7));
         assert!(r.bidirectional);
         assert_eq!(r.verb, ControlVerb::Restore);
+        let q = ControlAction::recycle_entropy_cable(LinkId(7));
+        assert!(q.bidirectional);
+        assert_eq!(q.verb, ControlVerb::RecycleEntropy);
     }
 }

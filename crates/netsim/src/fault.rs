@@ -183,6 +183,7 @@ mod tests {
             tag: None,
             src_leaf: 0,
             ingress: None,
+            ce: false,
         }
     }
 

@@ -263,6 +263,7 @@ struct NormPacket {
     tag: Option<(u32, u32)>,
     src_leaf: u16,
     ingress: Option<u32>,
+    ce: bool,
 }
 
 #[derive(PartialEq, Eq, Debug)]
@@ -294,6 +295,7 @@ struct NormFront {
 #[derive(PartialEq, Eq, Debug)]
 struct NormLink {
     admin_up: bool,
+    spray_avoid: bool,
     txing: bool,
     current: Option<NormPacket>,
     inflight: u32,
@@ -318,6 +320,11 @@ struct NormSwitch {
     ingress_usage: Vec<[u64; NPRIO]>,
     pause_sent: Vec<[bool; NPRIO]>,
     rr_cursor: u64,
+    /// Pluggable-backend residual from [`crate::spray::Sprayer::memo_residual`]:
+    /// a canonical digest of any backend-private state (0 for stateless
+    /// backends). A backend refusing to fingerprint fails the snapshot
+    /// with its reason instead.
+    sprayer_residual: u64,
     /// Canonical adaptive-spray deficit per uplink slot: `(value, phase)`
     /// after an eager decay sync (see `memo_sync_spray_decay`), where
     /// `phase = T_i - spray_deficit_at`. Never-touched slots are
@@ -533,6 +540,7 @@ impl Normalizer {
             tag: p.tag.map(|t| (t.job, self.diter(t.iter))),
             src_leaf: p.src_leaf,
             ingress: p.ingress.map(|l| l.0),
+            ce: p.ce,
         }
     }
 
@@ -621,7 +629,17 @@ impl Simulator {
             // auto-miss forever; refuse eagerly so the fallback reason is
             // visible instead of a silent perpetual miss.
             SprayPolicy::Adaptive => Some("adaptive-spray-decay"),
-            SprayPolicy::RoundRobin | SprayPolicy::LeastLoaded => None,
+            // REPS recycles entropies fed by ACK arrival order; the cache
+            // is feedback-dependent state the fingerprint cannot soundly
+            // normalize, so refuse eagerly with a visible reason.
+            SprayPolicy::Reps | SprayPolicy::RepsFailover => Some("reps-entropy-cache"),
+            // ECMP is a pure flow hash; PRIME is a pure function of
+            // (flow, seq, epoch) and its sprayer reports a dynamic
+            // residual if congestion epochs ever appear (see snapshot).
+            SprayPolicy::RoundRobin
+            | SprayPolicy::LeastLoaded
+            | SprayPolicy::Ecmp
+            | SprayPolicy::Prime => None,
         };
         self.memo = Some(Box::new(MemoState {
             barriers,
@@ -1013,6 +1031,7 @@ impl Simulator {
             .iter()
             .map(|l| NormLink {
                 admin_up: l.admin_up,
+                spray_avoid: l.spray_avoid,
                 txing: l.txing,
                 current: l.current.as_ref().map(|p| n.packet(p)),
                 inflight: l.inflight,
@@ -1037,6 +1056,13 @@ impl Simulator {
                 ingress_usage: s.ingress_usage.clone(),
                 pause_sent: s.pause_sent.clone(),
                 rr_cursor: s.rr_cursor,
+                sprayer_residual: match s.sprayer.memo_residual() {
+                    Ok(r) => r,
+                    Err(why) => {
+                        n.fail(why);
+                        0
+                    }
+                },
                 spray: s
                     .spray_deficit
                     .iter()

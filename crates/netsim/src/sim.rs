@@ -49,6 +49,11 @@ pub mod memo;
 pub struct LinkState {
     /// Administratively up (known faults take links out of routing).
     pub admin_up: bool,
+    /// Entropy-recycle remediation flag (`ControlVerb::RecycleEntropy`):
+    /// the link stays admin-up and keeps forwarding, but spray decisions
+    /// steer away from it whenever an alternative candidate exists. Far
+    /// gentler than admin-down — in-flight and queued packets survive.
+    pub spray_avoid: bool,
     /// Installed silent fault, if any.
     pub fault: Option<FaultKind>,
     /// Currently serializing a packet.
@@ -83,6 +88,7 @@ impl LinkState {
     fn new() -> Self {
         LinkState {
             admin_up: true,
+            spray_avoid: false,
             fault: None,
             txing: false,
             current: None,
@@ -119,6 +125,11 @@ struct SwitchState {
     pause_sent: Vec<[bool; NPRIO]>,
     /// Round-robin spray cursor.
     rr_cursor: u64,
+    /// Pluggable spray backend ([`spray::Sprayer`]) built from
+    /// `cfg.spray`. Classic policies wrap [`spray::choose`] verbatim, so
+    /// the default `Adaptive` path is byte-identical to the pre-trait
+    /// engine; stateful backends (REPS) keep their per-switch state here.
+    sprayer: Box<dyn spray::Sprayer>,
     /// Leaf only: valid uplinks per destination leaf (admin state only —
     /// silent faults are *not* reflected here, that's the point).
     valid_up: Vec<Vec<LinkId>>,
@@ -272,6 +283,18 @@ pub struct Simulator {
     last_event_ns: u64,
     scratch_cands: Vec<LinkId>,
     scratch_loads: Vec<u64>,
+    /// Scratch uplink-slot ids handed to feedback-driven sprayers.
+    scratch_slots: Vec<u32>,
+    /// Scratch `(seq, ce)` echoes collected while the flow table is
+    /// borrowed in [`Simulator::receive_ack`].
+    scratch_echoes: Vec<(u32, bool)>,
+    /// `cfg.spray.wants_feedback()`, cached: gates every per-packet
+    /// feedback hook (CE marking, ACK echoes) so classic policies pay one
+    /// predictable branch and stay byte-identical to the pre-trait engine.
+    spray_feedback: bool,
+    /// Number of links currently carrying [`LinkState::spray_avoid`];
+    /// zero keeps the avoidance filter entirely off the spray hot path.
+    spray_avoided: u32,
     /// Sharded-run state; `None` (the default) on ordinary simulators.
     shard: Option<Box<ShardCtx>>,
     /// Temporal-symmetry memoization state (`FP_MEMO`, see [`memo`]);
@@ -300,6 +323,7 @@ impl Simulator {
                     ingress_usage: vec![[0; NPRIO]; topo.switch_ports[i] as usize],
                     pause_sent: vec![[false; NPRIO]; topo.switch_ports[i] as usize],
                     rr_cursor: 0,
+                    sprayer: spray::make_sprayer(cfg.spray, n_deficit),
                     valid_up: vec![Vec::new(); n_valid_up],
                     valid_core: vec![Vec::new(); n_valid_core],
                     spray_deficit: vec![0; n_deficit],
@@ -336,6 +360,7 @@ impl Simulator {
             })
             .collect();
         let pipes = vec![VecDeque::new(); latencies.len()];
+        let spray_feedback = cfg.spray.wants_feedback();
         let mut sim = Simulator {
             cfg,
             topo,
@@ -365,6 +390,10 @@ impl Simulator {
             last_event_ns: 0,
             scratch_cands: Vec::new(),
             scratch_loads: Vec::new(),
+            scratch_slots: Vec::new(),
+            scratch_echoes: Vec::new(),
+            spray_feedback,
+            spray_avoided: 0,
             shard: None,
             memo: None,
         };
@@ -589,16 +618,48 @@ impl Simulator {
     fn apply_control(&mut self, idx: u32, action: ControlAction) {
         self.trace
             .push(self.now, TraceEvent::ControlApplied { link: action.link });
-        let fault_action = match action.verb {
-            ControlVerb::AdminDown => FaultAction::Set(FaultKind::AdminDown),
-            ControlVerb::Restore => FaultAction::Clear,
-        };
-        self.apply_fault_now(action.link, fault_action, action.bidirectional);
+        match action.verb {
+            ControlVerb::AdminDown => {
+                self.apply_fault_now(
+                    action.link,
+                    FaultAction::Set(FaultKind::AdminDown),
+                    action.bidirectional,
+                );
+            }
+            ControlVerb::Restore => {
+                self.apply_fault_now(action.link, FaultAction::Clear, action.bidirectional);
+            }
+            // Soft mitigation: quarantine the cable for spray decisions
+            // only. No admin state change, no queue drain, no routing
+            // recompute — queued and in-flight packets finish normally.
+            ControlVerb::RecycleEntropy => {
+                self.set_spray_avoid(action.link, true);
+                if action.bidirectional {
+                    let peer = self.topo.peer[action.link.idx()];
+                    self.set_spray_avoid(peer, true);
+                }
+            }
+        }
         self.applied_controls.push(AppliedControl {
             at: self.now,
             idx,
             action,
         });
+    }
+
+    /// Flip a link's entropy-recycle quarantine flag, maintaining the
+    /// global count that keeps the avoidance filter off the spray hot
+    /// path while no link is quarantined.
+    fn set_spray_avoid(&mut self, link: LinkId, on: bool) {
+        let l = &mut self.links[link.idx()];
+        if l.spray_avoid != on {
+            l.spray_avoid = on;
+            if on {
+                self.spray_avoided += 1;
+            } else {
+                self.spray_avoided -= 1;
+            }
+        }
     }
 
     /// Apply a fault action right now.
@@ -646,6 +707,9 @@ impl Simulator {
                 let was_down = !self.links[link.idx()].admin_up;
                 self.links[link.idx()].fault = None;
                 self.links[link.idx()].admin_up = true;
+                // A healed/restored link also sheds any entropy-recycle
+                // quarantine — it is trustworthy again.
+                self.set_spray_avoid(link, false);
                 if was_down {
                     self.recompute_routing();
                 }
@@ -1249,27 +1313,83 @@ impl Simulator {
             self.scratch_cands = cands;
             return None;
         }
+        // Entropy-recycle remediation (`ControlVerb::RecycleEntropy`):
+        // drop quarantined uplinks from the candidate set, mirroring the
+        // admin-down pairing (the uplink itself, or — when steering
+        // around a spine — the paired spine→destination downlink). The
+        // filter never empties the set: with no clean alternative the
+        // original candidates stand, because the pick must stay total.
+        if self.spray_avoided > 0 && cands.len() > 1 {
+            let n_before = cands.len();
+            cands.retain(|&up| {
+                if self.links[up.idx()].spray_avoid {
+                    return false;
+                }
+                if let SprayTable::Up(dst_leaf) = table {
+                    let down = self.topo.downlink(self.deficit_idx(up), dst_leaf);
+                    if self.links[down.idx()].spray_avoid {
+                        return false;
+                    }
+                }
+                true
+            });
+            if cands.is_empty() {
+                let s = &self.switches[sw.idx()];
+                let set = match table {
+                    SprayTable::Up(dst_leaf) => &s.valid_up[dst_leaf as usize],
+                    SprayTable::Core(dst_pod) => &s.valid_core[dst_pod as usize],
+                };
+                cands.extend_from_slice(set);
+            } else if cands.len() < n_before {
+                self.stats.spray_avoided_picks += 1;
+            }
+        }
         let adaptive = self.cfg.spray == spray::SprayPolicy::Adaptive;
         let chosen = if cands.len() == 1 {
             cands[0]
         } else {
             let mut loads = std::mem::take(&mut self.scratch_loads);
             loads.clear();
-            for &id in &cands {
-                let mut load = self.links[id.idx()].queued_bytes;
-                if adaptive {
-                    load += self.decayed_deficit(sw, self.deficit_idx(id));
+            // Load signals feed only the classic policies; skipping the
+            // gather for hash/entropy backends keeps their pick O(1).
+            if self.cfg.spray.is_classic() {
+                for &id in &cands {
+                    let mut load = self.links[id.idx()].queued_bytes;
+                    if adaptive {
+                        load += self.decayed_deficit(sw, self.deficit_idx(id));
+                    }
+                    loads.push(load);
                 }
-                loads.push(load);
             }
-            let i = spray::choose(
-                self.cfg.spray,
-                &loads,
-                &mut self.switches[sw.idx()].rr_cursor,
-                &mut self.rng.spray,
-            );
+            let mut slots = std::mem::take(&mut self.scratch_slots);
+            slots.clear();
+            if self.spray_feedback {
+                for &id in &cands {
+                    slots.push(self.deficit_idx(id));
+                }
+            }
+            let (flow, seq, data) = match pkt.kind {
+                PacketKind::Data { flow, seq } => (flow, seq, true),
+                PacketKind::Ack { flow, .. } => (flow, 0, false),
+            };
+            let ctx = spray::SprayCtx {
+                flow,
+                src: pkt.src.0,
+                dst: pkt.dst.0,
+                seq,
+                data,
+                cands: &cands,
+                loads: &loads,
+                slots: &slots,
+            };
+            let sw_state = &mut self.switches[sw.idx()];
+            let i = sw_state
+                .sprayer
+                .pick(&ctx, &mut sw_state.rr_cursor, &mut self.rng.spray);
+            debug_assert!(i < cands.len(), "sprayer picked out of range");
             let c = cands[i];
             self.scratch_loads = loads;
+            self.scratch_slots = slots;
             c
         };
         self.scratch_cands = cands;
@@ -1367,6 +1487,7 @@ impl Simulator {
                 tag: f.tag,
                 src_leaf: self.hosts[h.idx()].leaf as u16,
                 ingress: None,
+                ce: false,
             };
             let still_fresh = self.flows[fid as usize].has_fresh();
             if still_fresh {
@@ -1682,10 +1803,20 @@ impl Simulator {
 
     /// Enqueue `pkt` on `out_link`'s egress queue, charge PFC budget, and
     /// kick the transmitter.
-    fn enqueue(&mut self, out_link: LinkId, pkt: Packet) {
+    fn enqueue(&mut self, out_link: LinkId, mut pkt: Packet) {
         if !self.links[out_link.idx()].admin_up {
             self.stats.drop(DropCause::AdminDown);
             return;
+        }
+        // ECN: CE-mark data packets entering a standing queue. Gated on
+        // the backend actually consuming the echo so classic policies run
+        // the pre-feedback byte path unchanged.
+        if self.spray_feedback
+            && !pkt.ce
+            && pkt.is_data()
+            && self.links[out_link.idx()].queued_bytes >= self.cfg.ecn_threshold
+        {
+            pkt.ce = true;
         }
         let wire = self.wire_size(&pkt);
         let q = pkt.prio.idx();
@@ -1726,7 +1857,7 @@ impl Simulator {
         match pkt.kind {
             PacketKind::Data { flow, seq } => {
                 let flow = self.local_fid(flow);
-                self.receive_data(h, flow, seq, pkt.size)
+                self.receive_data(h, flow, seq, pkt.size, pkt.ce)
             }
             PacketKind::Ack { flow, block } => {
                 let flow = self.local_fid(flow);
@@ -1735,7 +1866,7 @@ impl Simulator {
         }
     }
 
-    fn receive_data(&mut self, h: HostId, flow: FlowId, seq: u32, size: u32) {
+    fn receive_data(&mut self, h: HostId, flow: FlowId, seq: u32, size: u32, ce: bool) {
         debug_assert_eq!(self.flows[flow as usize].dst, h, "data at wrong host");
         self.stats.data_pkts_delivered += 1;
         let (newly, completed) = {
@@ -1761,13 +1892,13 @@ impl Simulator {
         }
         // Always (re-)acknowledge, even duplicates — the sender may be
         // retransmitting because our earlier ACK was lost.
-        self.accumulate_ack(flow, seq);
+        self.accumulate_ack(flow, seq, ce);
         if completed {
             self.with_app(|app, sim| app.on_message_complete(sim, flow));
         }
     }
 
-    fn accumulate_ack(&mut self, flow: FlowId, seq: u32) {
+    fn accumulate_ack(&mut self, flow: FlowId, seq: u32, ce: bool) {
         let coalesce = self.cfg.ack_coalesce;
         let mut flush_block: Option<AckBlock> = None;
         let mut schedule_flush = false;
@@ -1777,7 +1908,7 @@ impl Simulator {
             let cum = f.rcvd.first_clear().unwrap_or(f.npkts);
             match &mut f.pending_ack {
                 None => {
-                    let mut a = AckAccum::new(seq);
+                    let mut a = AckAccum::new(seq, ce);
                     if coalesce <= 1 {
                         flush_block = Some(a.block(cum));
                         f.pending_ack = None;
@@ -1788,11 +1919,11 @@ impl Simulator {
                     }
                 }
                 Some(a) => {
-                    if !a.add(seq) {
+                    if !a.add(seq, ce) {
                         // Window overflow: emit the old block, restart.
                         flush_block = Some(a.block(cum));
                         let had_timer = a.flush_scheduled;
-                        let mut na = AckAccum::new(seq);
+                        let mut na = AckAccum::new(seq, ce);
                         na.flush_scheduled = had_timer;
                         *a = na;
                     } else if a.count() >= coalesce {
@@ -1838,6 +1969,7 @@ impl Simulator {
             tag: None,
             src_leaf: self.hosts[f.dst.idx()].leaf as u16,
             ingress: None,
+            ce: false,
         };
         self.stats.acks_sent += 1;
         let up = self.topo.host_up[f.dst.idx()];
@@ -1846,7 +1978,10 @@ impl Simulator {
 
     fn receive_ack(&mut self, h: HostId, flow: FlowId, block: AckBlock) {
         debug_assert_eq!(self.flows[flow as usize].src, h, "ack at wrong host");
-        let newly_done = {
+        let feedback = self.spray_feedback;
+        let mut echoes = std::mem::take(&mut self.scratch_echoes);
+        echoes.clear();
+        let (global, pair, newly_done) = {
             let f = &mut self.flows[flow as usize];
             let was_done = f.fully_acked();
             // Cumulative watermark first (heals any previously lost ACKs)…
@@ -1855,6 +1990,12 @@ impl Simulator {
                 if f.acked.set(f.cum_acked) {
                     // Newly acknowledged: lazily cancel the pending timer.
                     f.rto_gen[f.cum_acked as usize] += 1;
+                    if feedback {
+                        // Watermark-healed segments carry no CE echo (a
+                        // lost ACK loses its marks; clean is the safe
+                        // reading — REPS just recycles one more entropy).
+                        echoes.push((f.cum_acked, false));
+                    }
                 }
                 f.cum_acked += 1;
             }
@@ -1862,10 +2003,28 @@ impl Simulator {
             for seq in block.seqs() {
                 if seq < f.npkts && f.acked.set(seq) {
                     f.rto_gen[seq as usize] += 1;
+                    if feedback {
+                        echoes.push((seq, block.ce(seq)));
+                    }
                 }
             }
-            !was_done && f.fully_acked()
+            (f.global, (f.src.0, f.dst.0), !was_done && f.fully_acked())
         };
+        // Echo each newly acknowledged segment to the source leaf's
+        // sprayer: a clean ACK proves the path, a CE-marked one flags it.
+        if !echoes.is_empty() {
+            let leaf = self.hosts[h.idx()].leaf as usize;
+            let sprayer = &mut self.switches[leaf].sprayer;
+            for &(seq, ce) in echoes.iter() {
+                let echo = if ce {
+                    spray::SprayEcho::Ecn
+                } else {
+                    spray::SprayEcho::Ack
+                };
+                sprayer.on_feedback(global, pair, seq, echo);
+            }
+        }
+        self.scratch_echoes = echoes;
         if newly_done {
             self.with_app(|app, sim| app.on_flow_acked(sim, flow));
         }
@@ -1908,6 +2067,7 @@ impl Simulator {
                 tag: f.tag,
                 src_leaf: self.hosts[f.src.idx()].leaf as u16,
                 ingress: None,
+                ce: false,
             };
             (f.src, pkt)
         };
@@ -1915,6 +2075,17 @@ impl Simulator {
         self.flows[flow as usize].retx += 1;
         if let Some(rec) = self.recorder.as_mut() {
             rec.on_rto_attempt(attempt);
+        }
+        // Loss echo to the source leaf's sprayer *before* the retransmit
+        // is enqueued, so the fresh spray decision re-records the segment
+        // under its new entropy.
+        if self.spray_feedback {
+            let f = &self.flows[flow as usize];
+            let (global, pair) = (f.global, (f.src.0, f.dst.0));
+            let leaf = self.hosts[src.idx()].leaf as usize;
+            self.switches[leaf]
+                .sprayer
+                .on_feedback(global, pair, seq, spray::SprayEcho::Timeout);
         }
         self.enqueue(self.topo.host_up[src.idx()], pkt);
         let exp = (attempt + 1).min(self.cfg.rto_backoff_cap);

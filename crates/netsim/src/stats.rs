@@ -72,6 +72,10 @@ pub struct Stats {
     pub pfc_pause_ns: [u64; NPRIO],
     /// High-water mark of any single egress queue, in bytes.
     pub max_queue_bytes: u64,
+    /// Spray decisions where entropy-recycle remediation
+    /// (`ControlVerb::RecycleEntropy`) removed at least one quarantined
+    /// uplink from the candidate set.
+    pub spray_avoided_picks: u64,
 }
 
 impl Stats {
@@ -118,6 +122,7 @@ impl Stats {
             *a += b;
         }
         self.max_queue_bytes = self.max_queue_bytes.max(other.max_queue_bytes);
+        self.spray_avoided_picks += other.spray_avoided_picks;
     }
 
     /// Counter growth from `prev` to `self` — one memo window's worth of
@@ -144,6 +149,7 @@ impl Stats {
             pfc_resumes: self.pfc_resumes - prev.pfc_resumes,
             pfc_pause_ns: std::array::from_fn(|i| self.pfc_pause_ns[i] - prev.pfc_pause_ns[i]),
             max_queue_bytes: 0,
+            spray_avoided_picks: self.spray_avoided_picks - prev.spray_avoided_picks,
         }
     }
 
@@ -169,6 +175,7 @@ impl Stats {
         for (a, b) in self.pfc_pause_ns.iter_mut().zip(&d.pfc_pause_ns) {
             *a += b * reps;
         }
+        self.spray_avoided_picks += d.spray_avoided_picks * reps;
     }
 }
 

@@ -147,23 +147,27 @@ pub struct AckAccum {
     pub base: u32,
     /// Bitmap relative to `base`.
     pub mask: u64,
+    /// CE (congestion-experienced) echoes, bit-parallel to `mask`: bit `i`
+    /// set ⇒ the segment acknowledged by bit `i` arrived CE-marked.
+    pub ce_mask: u64,
     /// A flush timer is already scheduled.
     pub flush_scheduled: bool,
 }
 
 impl AckAccum {
-    /// Start accumulating with `seq`.
-    pub fn new(seq: u32) -> Self {
+    /// Start accumulating with `seq` (whose packet carried CE mark `ce`).
+    pub fn new(seq: u32, ce: bool) -> Self {
         AckAccum {
             base: seq,
             mask: 1,
+            ce_mask: ce as u64,
             flush_scheduled: false,
         }
     }
 
-    /// Try to add `seq`; returns `false` if it falls outside the 64-wide
-    /// window (caller should flush and restart).
-    pub fn add(&mut self, seq: u32) -> bool {
+    /// Try to add `seq` (CE-marked if `ce`); returns `false` if it falls
+    /// outside the 64-wide window (caller should flush and restart).
+    pub fn add(&mut self, seq: u32, ce: bool) -> bool {
         if seq < self.base {
             // Out-of-order below base: representable only by restarting.
             return false;
@@ -173,6 +177,9 @@ impl AckAccum {
             return false;
         }
         self.mask |= 1u64 << off;
+        if ce {
+            self.ce_mask |= 1u64 << off;
+        }
         true
     }
 
@@ -188,6 +195,7 @@ impl AckAccum {
             cum,
             base: self.base,
             mask: self.mask,
+            ce_mask: self.ce_mask,
         }
     }
 }
@@ -246,16 +254,19 @@ mod tests {
 
     #[test]
     fn ack_accum_window() {
-        let mut a = AckAccum::new(100);
-        assert!(a.add(100));
-        assert!(a.add(163));
-        assert!(!a.add(164)); // outside 64-window
-        assert!(!a.add(99)); // below base
+        let mut a = AckAccum::new(100, false);
+        assert!(a.add(100, false));
+        assert!(a.add(163, true));
+        assert!(!a.add(164, false)); // outside 64-window
+        assert!(!a.add(99, false)); // below base
         assert_eq!(a.count(), 2);
         let b = a.block(42);
         let seqs: Vec<u32> = b.seqs().collect();
         assert_eq!(seqs, vec![100, 163]);
         assert_eq!(b.cum, 42);
+        // CE echoes ride bit-parallel to the ack mask.
+        assert!(!b.ce(100));
+        assert!(b.ce(163));
     }
 
     #[test]

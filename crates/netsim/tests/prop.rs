@@ -54,7 +54,7 @@ proptest! {
         for &o in &offsets {
             mask |= 1 << o;
         }
-        let b = AckBlock { cum: 0, base, mask };
+        let b = AckBlock { cum: 0, base, mask, ce_mask: 0 };
         let got: Vec<u32> = b.seqs().collect();
         let want: Vec<u32> = offsets.iter().map(|o| base + o).collect();
         prop_assert_eq!(got, want);
@@ -87,6 +87,71 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every spray backend returns an in-range candidate index for
+    /// arbitrary packet identities, candidate counts and feedback
+    /// histories — the contract `spray_among` relies on.
+    #[test]
+    fn every_backend_picks_valid_candidates(
+        policy_idx in 0usize..9,
+        n in 1usize..9,
+        src in 0u32..64,
+        dst in 0u32..64,
+        flow in 0u32..1_000_000,
+        seq in 0u32..10_000,
+        seed in 0u64..1000,
+        data_bit in 0u32..2,
+        // Each entry encodes (seq, echo kind) as seq * 3 + kind.
+        echoes in proptest::collection::vec(0u32..192, 0..16),
+    ) {
+        use fp_netsim::spray::{make_sprayer, SprayCtx, SprayEcho, SprayPolicy};
+        use fp_netsim::ids::LinkId;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let policies = [
+            SprayPolicy::Random,
+            SprayPolicy::RoundRobin,
+            SprayPolicy::Adaptive,
+            SprayPolicy::LeastLoaded,
+            SprayPolicy::LeastLoadedRandomTie,
+            SprayPolicy::Ecmp,
+            SprayPolicy::Prime,
+            SprayPolicy::Reps,
+            SprayPolicy::RepsFailover,
+        ];
+        let policy = policies[policy_idx];
+        let data = data_bit == 1;
+        let cands: Vec<LinkId> = (0..n as u32).map(LinkId).collect();
+        let loads: Vec<u64> = vec![0; n];
+        let slots: Vec<u32> = (0..n as u32).collect();
+        let mut sprayer = make_sprayer(policy, n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut cursor = 0u64;
+        // Arbitrary feedback history first (ACK/ECN/timeout per seq) —
+        // the pick must stay total whatever state it built up.
+        for coded in echoes {
+            let echo = [SprayEcho::Ack, SprayEcho::Ecn, SprayEcho::Timeout][coded as usize % 3];
+            sprayer.on_feedback(flow, (src, dst), coded / 3, echo);
+        }
+        for round in 0..16u32 {
+            let ctx = SprayCtx {
+                flow,
+                src,
+                dst,
+                seq: seq.wrapping_add(round),
+                data,
+                cands: &cands,
+                loads: &loads,
+                slots: &slots,
+            };
+            let idx = sprayer.pick(&ctx, &mut cursor, &mut rng);
+            prop_assert!(idx < n, "{policy:?} picked {idx} of {n}");
+        }
+    }
+}
+
+proptest! {
     // Packet-level runs are slower: fewer cases.
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -97,7 +162,7 @@ proptest! {
         bytes in 1u64..2_000_000,
         src in 0u32..8,
         dst in 0u32..8,
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..8,
         seed in 0u64..1000,
     ) {
         prop_assume!(src != dst);
@@ -106,6 +171,10 @@ proptest! {
             SprayPolicy::LeastLoaded,
             SprayPolicy::RoundRobin,
             SprayPolicy::Random,
+            SprayPolicy::Ecmp,
+            SprayPolicy::Prime,
+            SprayPolicy::Reps,
+            SprayPolicy::RepsFailover,
         ];
         let topo = Topology::fat_tree(FatTreeSpec { leaves: 8, spines: 4, ..Default::default() });
         let cfg = SimConfig { spray: policies[policy_idx], ..Default::default() };
@@ -153,6 +222,43 @@ proptest! {
         prop_assert_eq!(c.total_bytes(), bytes);
         // ...and it all landed at the destination's leaf.
         prop_assert_eq!(c.leaf_ports(3).iter().sum::<u64>(), bytes);
+    }
+
+    /// The pluggable backends conserve packets under a lossy cable and
+    /// PFC backpressure: an incast onto one leaf (xoff/xon cycling) plus
+    /// a silent drop on a shared uplink, and every flow still delivers
+    /// its payload exactly once — entropy recycling, epoch bumps and
+    /// static hashing never lose or duplicate a byte.
+    #[test]
+    fn pluggable_backends_deliver_exactly_under_loss_and_pfc(
+        policy_idx in 0usize..4,
+        rate in 0.05f64..0.45,
+        seed in 0u64..500,
+    ) {
+        let policies = [
+            SprayPolicy::Ecmp,
+            SprayPolicy::Prime,
+            SprayPolicy::Reps,
+            SprayPolicy::RepsFailover,
+        ];
+        let topo = Topology::fat_tree(FatTreeSpec { leaves: 4, spines: 2, ..Default::default() });
+        let cfg = SimConfig { spray: policies[policy_idx], ..Default::default() };
+        let mut sim = Simulator::new(topo, cfg, seed);
+        let bad = sim.topo.uplink(0, 1);
+        sim.apply_fault_now(bad, FaultAction::Set(FaultKind::SilentDrop { rate }), false);
+        // Incast: three senders converge on host 3 (PFC pause churn at its
+        // leaf) while host 0's flow also crosses the lossy uplink.
+        let bytes = 300_000u64;
+        let mut total = 0u64;
+        for src in 0..3u32 {
+            sim.post_message(HostId(src), HostId(3), bytes, None, Priority::MEASURED);
+            total += bytes;
+        }
+        sim.post_message(HostId(3), HostId(0), bytes, None, Priority::MEASURED);
+        total += bytes;
+        sim.run();
+        prop_assert!(sim.all_flows_complete());
+        prop_assert_eq!(sim.stats.bytes_delivered, total);
     }
 
     /// Admin-down uplinks are never used, whatever the spray policy.

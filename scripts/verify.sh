@@ -60,6 +60,31 @@ for bin in fig5a preexisting mitigation; do
     echo "    $bin: JSON byte-identical heap vs wheel"
 done
 
+echo "==> FP_SPRAY smoke: pluggable backends byte-identical across thread counts"
+tsp="$(mktemp -d)"
+trap 'rm -rf "$t1" "$t4" "$tt" "$th" "$tsp"' EXIT
+# fig5a does not pin `sim.spray`, so the env knob drives the whole sweep;
+# `reps` exercises the ACK-fed feedback path end to end.
+for pol in ecmp prime reps; do
+    FP_QUICK=1 FP_SPRAY="$pol" FP_THREADS=1 FP_RESULTS="$tsp/s1" \
+        cargo run --release -q -p fp-bench --bin fig5a >/dev/null
+    FP_QUICK=1 FP_SPRAY="$pol" FP_THREADS=4 FP_RESULTS="$tsp/s4" \
+        cargo run --release -q -p fp-bench --bin fig5a >/dev/null
+    cmp "$tsp/s1/fig5a.json" "$tsp/s4/fig5a.json"
+    echo "    fig5a FP_SPRAY=$pol: JSON byte-identical across thread counts"
+done
+
+echo "==> E11 smoke: quick spray x mitigation cross, 1 vs 4 threads"
+# The binary itself asserts the headline E11 claims on every run: healthy
+# fabrics are never mitigated (zero false mitigations, zero verbs) and
+# entropy recycling restores the REPS fabric's goodput.
+FP_QUICK=1 FP_THREADS=1 FP_RESULTS="$tsp/e1" \
+    cargo run --release -q -p fp-bench --bin e11_spray_mitigation >/dev/null
+FP_QUICK=1 FP_THREADS=4 FP_RESULTS="$tsp/e4" \
+    cargo run --release -q -p fp-bench --bin e11_spray_mitigation >/dev/null
+cmp "$tsp/e1/e11_spray.json" "$tsp/e4/e11_spray.json"
+echo "    e11_spray: clean rows untouched, recycle recovers, JSON byte-identical"
+
 echo "==> bench json schema: BENCH_netsim.json parses with required keys"
 python3 - <<'EOF'
 import json, sys
@@ -69,7 +94,7 @@ required = ["name", "git", "scheduler", "threads", "host_parallelism",
             "events_per_sec", "sched_pushes", "memo_hits",
             "memo_replayed_events"]
 for name in ("headline", "baseline", "telemetry_overhead", "mitigation",
-             "memo_headline", "memo_mitigation",
+             "e11_spray", "memo_headline", "memo_mitigation",
              "shards1", "shards2", "shards4", "shards8",
              "shards2_inline", "shards4_inline", "shards8_inline",
              "monitord32_block", "monitord64_block",
@@ -120,12 +145,19 @@ if missing:
     sys.exit(f"BENCH_netsim.json[mitigation]: closed-loop keys null/missing: {missing}")
 if m["false_mitigations"] != 0:
     sys.exit(f"BENCH_netsim.json[mitigation]: {m['false_mitigations']} false mitigations")
+e11 = d["e11_spray"]
+missing = [k for k in ctrl_keys if e11.get(k) is None]
+if missing:
+    sys.exit(f"BENCH_netsim.json[e11_spray]: closed-loop keys null/missing: {missing}")
+if e11["false_mitigations"] != 0:
+    sys.exit(f"BENCH_netsim.json[e11_spray]: {e11['false_mitigations']} false "
+             "mitigations across the backend x verb cross")
 mb = d["monitord32_block"]
 if mb["events"] != mb["sched_pushes"]:
     sys.exit("BENCH_netsim.json[monitord32_block]: blocking policy lost "
              f"snapshots ({mb['events']} processed of {mb['sched_pushes']} offered)")
-print("    headline + baseline + overhead + mitigation + memo + shard + "
-      "monitord entries carry all required keys")
+print("    headline + baseline + overhead + mitigation + e11_spray + memo + "
+      "shard + monitord entries carry all required keys")
 EOF
 
 echo "==> memo perf canary (warn-only): committed memo rows vs live rates"
@@ -153,7 +185,7 @@ echo "==> perf smoke (warn-only): quick headline vs committed BENCH_netsim.json"
 # the absolute events/sec are not comparable run-to-run on shared hardware;
 # print the delta as a canary but never fail the gate on it.
 pb="$(mktemp -d)"
-trap 'rm -rf "$t1" "$t4" "$tt" "$th" "$pb"' EXIT
+trap 'rm -rf "$t1" "$t4" "$tt" "$th" "$tsp" "$pb"' EXIT
 FP_QUICK=1 FP_BENCH_JSON="$pb/bench.json" FP_RESULTS="$pb" \
     cargo run --release -q -p fp-bench --bin headline >/dev/null
 python3 - "$pb/bench.json" <<'EOF'
@@ -183,7 +215,7 @@ echo "    telemetry artifacts validate (JSONL schema + Chrome trace)"
 
 echo "==> FP_SHARDS smoke: sharded quick headline vs unsharded"
 ts="$(mktemp -d)"
-trap 'rm -rf "$t1" "$t4" "$tt" "$th" "$pb" "$ts"' EXIT
+trap 'rm -rf "$t1" "$t4" "$tt" "$th" "$tsp" "$pb" "$ts"' EXIT
 FP_QUICK=1 FP_SHARDS=2 FP_BENCH_JSON="$ts/bench.json" FP_RESULTS="$ts" \
     cargo run --release -q -p fp-bench --bin headline >/dev/null
 cmp "$t4/headline.json" "$ts/headline.json"
@@ -244,7 +276,7 @@ EOF
 echo "==> FP_MEMO smoke: memoized runs byte-identical to live (wheel + heap)"
 tmo="$(mktemp -d)"
 tmm="$(mktemp -d)"
-trap 'rm -rf "$t1" "$t4" "$tt" "$th" "$pb" "$ts" "$tmo" "$tmm"' EXIT
+trap 'rm -rf "$t1" "$t4" "$tt" "$th" "$tsp" "$pb" "$ts" "$tmo" "$tmm"' EXIT
 for bin in headline fig2 mitigation; do
     FP_QUICK=1 FP_RESULTS="$tmo" \
         cargo run --release -q -p fp-bench --bin "$bin" >/dev/null
@@ -266,7 +298,7 @@ echo "    quickstart: memoized steady state replayed, byte-identical to live"
 echo "==> monitord smoke: quick E10 sweep through the live service"
 tm1="$(mktemp -d)"
 tm4="$(mktemp -d)"
-trap 'rm -rf "$t1" "$t4" "$tt" "$th" "$pb" "$ts" "$tm1" "$tm4"' EXIT
+trap 'rm -rf "$t1" "$t4" "$tt" "$th" "$tsp" "$pb" "$ts" "$tmo" "$tmm" "$tm1" "$tm4"' EXIT
 # The sweep itself asserts zero drops + all streams closed under the
 # blocking policy; verify.sh additionally checks the metrics.jsonl schema
 # and that per-stream verdicts are byte-identical across producer thread
